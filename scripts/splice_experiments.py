@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Splice full-scale experiment tables into EXPERIMENTS.md.
+
+Usage: scripts/splice_experiments.py RESULTS.md [RESULTS2.md ...]
+
+Each RESULTS file is `experiments.exe --markdown` output: `### <ID>`
+headers followed by a fenced code block.  Every `<!-- TABLE:<ID> -->`
+placeholder in EXPERIMENTS.md is replaced in place by that section's
+block (later files override earlier ones for the same id).
+"""
+import re
+import sys
+
+sections = {}
+for path in sys.argv[1:]:
+    cur = None
+    for line in open(path):
+        m = re.match(r"^### (\S+)", line)
+        if m:
+            cur = m.group(1)
+            sections[cur] = ""
+        elif cur is not None:
+            sections[cur] += line
+
+target = "EXPERIMENTS.md"
+out = []
+missing = []
+for line in open(target):
+    m = re.match(r"^<!-- TABLE:(\S+) -->$", line.strip())
+    if m:
+        if m.group(1) in sections:
+            out.append(sections[m.group(1)].strip("\n") + "\n")
+        else:
+            missing.append(m.group(1))
+            out.append(line)
+    else:
+        out.append(line)
+
+open(target, "w").write("".join(out))
+if missing:
+    print("unresolved placeholders:", ", ".join(missing))
+else:
+    print("all placeholders resolved")
