@@ -1,0 +1,1 @@
+examples/byzantine_split.ml: Adversary Agreement Array Dsim Format List Protocols String

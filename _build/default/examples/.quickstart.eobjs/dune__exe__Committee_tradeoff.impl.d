@@ -1,0 +1,1 @@
+examples/committee_tradeoff.ml: Array Format List Prng Protocols Stats

@@ -1,0 +1,1 @@
+examples/flp_determinism.ml: Adversary Array Dsim Format List Printf Protocols Stats

@@ -1,0 +1,1 @@
+examples/flp_determinism.mli:

@@ -1,0 +1,1 @@
+examples/lower_bound_tour.ml: Adversary Array Dsim Format List Lowerbound Prng Protocols Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Agreement Array Dsim Format Protocols

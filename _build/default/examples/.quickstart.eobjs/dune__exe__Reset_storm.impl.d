@@ -1,0 +1,1 @@
+examples/reset_storm.ml: Adversary Array Dsim Format List Protocols

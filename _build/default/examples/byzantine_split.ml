@@ -1,0 +1,55 @@
+(* Byzantine corruption vs reliable broadcast: run Ben-Or (no message
+   validation) and Bracha (reliable broadcast) against an equivocating
+   Byzantine adversary that rewrites the corrupt set's votes to tell
+   every recipient what it already believes.
+
+   Ben-Or's bare votes are vulnerable: with t = (n-1)/5 corrupt
+   processors the adversary can stall or even (beyond its resilience)
+   split decisions.  Bracha's echo/ready quorums neutralize the
+   equivocation — the corrupt votes are forced to be consistent.
+
+     dune exec examples/byzantine_split.exe
+*)
+
+let run_protocol name protocol ~n ~t ~corrupt ~flavour ~seed =
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let config = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+  let outcome =
+    Dsim.Runner.run_steps config
+      ~strategy:(Adversary.Byzantine.lockstep ~corrupt ~flavour ())
+      ~max_steps:300_000 ~stop:`All_decided
+  in
+  let verdict = Agreement.Correctness.of_outcome ~inputs outcome in
+  Format.printf "@[<v>%s (corrupt = {%s}, %s):@,  %a@,  %a@,@]" name
+    (String.concat "," (List.map string_of_int corrupt))
+    (match flavour with
+    | Adversary.Byzantine.Flip -> "flip"
+    | Adversary.Byzantine.Equivocate -> "equivocate"
+    | Adversary.Byzantine.Silent -> "silent")
+    Dsim.Runner.pp_outcome outcome Agreement.Correctness.pp verdict
+
+let () =
+  let n = 7 in
+  Format.printf "Byzantine adversary vs Ben-Or (bare votes) and Bracha (RBC), n = %d.@.@." n;
+  List.iter
+    (fun flavour ->
+      run_protocol "ben-or" (Protocols.Ben_or.protocol ()) ~n ~t:1 ~corrupt:[ 0 ]
+        ~flavour ~seed:3;
+      run_protocol "bracha" (Protocols.Bracha.protocol ()) ~n ~t:2 ~corrupt:[ 0; 1 ]
+        ~flavour ~seed:3;
+      run_protocol "bracha-validated"
+        (Protocols.Bracha.protocol ~validated:true ())
+        ~n ~t:2 ~corrupt:[ 0; 1 ] ~flavour ~seed:3)
+    [ Adversary.Byzantine.Silent; Adversary.Byzantine.Flip; Adversary.Byzantine.Equivocate ];
+  Format.printf
+    "Safety (agreement/validity) holds throughout for Bracha: reliable@,\
+     broadcast prevents equivocation from splitting decisions.  Liveness@,\
+     is where the layers show: at the resilience boundary t = (n-1)/3@,\
+     the vote-flipping adversary stalls plain Bracha (budget exhausted@,\
+     above), while the validation filter — which quarantines votes not@,\
+     justified by the validator's own prior-phase view — restores prompt@,\
+     decisions.  That is precisely the role Bracha's validation plays.@,\
+     The strongly adaptive adversary of the paper notably LACKS this@,\
+     corruption power: it can erase memories (resets) but cannot make a@,\
+     processor lie about its coins — the two adversaries are incomparable@,\
+     (Section 2).@."

@@ -1,0 +1,1 @@
+lib/adversary/benign.ml: Dsim List Prng Queue

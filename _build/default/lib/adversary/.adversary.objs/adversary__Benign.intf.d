@@ -1,0 +1,1 @@
+lib/adversary/benign.mli: Strategy

@@ -1,0 +1,1 @@
+lib/adversary/byzantine.ml: Dsim List Queue

@@ -1,0 +1,1 @@
+lib/adversary/byzantine.mli: Strategy

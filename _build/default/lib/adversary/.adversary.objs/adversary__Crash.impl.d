@@ -1,0 +1,1 @@
+lib/adversary/crash.ml: Array Dsim List Queue

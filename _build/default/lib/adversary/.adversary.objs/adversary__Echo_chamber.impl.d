@@ -1,0 +1,1 @@
+lib/adversary/echo_chamber.ml: Array Dsim List Queue

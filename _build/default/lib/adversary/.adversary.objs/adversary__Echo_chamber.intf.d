@@ -1,0 +1,1 @@
+lib/adversary/echo_chamber.mli: Strategy

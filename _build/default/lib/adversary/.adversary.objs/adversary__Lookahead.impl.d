@@ -1,0 +1,1 @@
+lib/adversary/lookahead.ml: Dsim List Prng Split_vote

@@ -1,0 +1,1 @@
+lib/adversary/lookahead.mli: Dsim Strategy

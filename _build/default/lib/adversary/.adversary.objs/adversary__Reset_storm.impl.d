@@ -1,0 +1,1 @@
+lib/adversary/reset_storm.ml: Array Dsim List Prng

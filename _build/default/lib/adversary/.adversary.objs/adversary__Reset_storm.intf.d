@@ -1,0 +1,1 @@
+lib/adversary/reset_storm.mli: Strategy

@@ -1,0 +1,1 @@
+lib/adversary/silence.ml: Dsim List

@@ -1,0 +1,1 @@
+lib/adversary/split_brain.mli: Strategy

@@ -1,0 +1,1 @@
+lib/adversary/split_vote.ml: Dsim List Protocols Queue Strategy

@@ -1,0 +1,19 @@
+(** Fault-free, fair scheduling — the control adversary.
+
+    Against it, randomized agreement should decide almost immediately;
+    the exponential behaviour of E2/E3 is an adversarial phenomenon, and
+    this strategy is the ablation that shows it. *)
+
+val windowed : unit -> ('s, 'm) Strategy.windowed
+(** Every window delivers everything to everyone and resets nobody. *)
+
+val lockstep : unit -> ('s, 'm) Strategy.stepwise
+(** Free-running equivalent: repeat (send for every live processor,
+    then deliver every pending message in id order). *)
+
+val random_fair : seed:int -> drop_probability:float -> unit -> ('s, 'm) Strategy.stepwise
+(** Randomized fair-ish scheduler: each cycle sends for everyone, then
+    delivers each pending message independently with probability
+    [1 - drop_probability] now, deferring the rest to later cycles.
+    Messages are never dropped, only delayed; used by property tests to
+    explore interleavings. *)

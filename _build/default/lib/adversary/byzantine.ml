@@ -1,0 +1,57 @@
+type flavour = Flip | Equivocate | Silent
+
+let lockstep ~corrupt ~flavour () =
+  let queue = Queue.create () in
+  let plan config =
+    let n = Dsim.Engine.n config in
+    let t = Dsim.Engine.fault_bound config in
+    if List.length corrupt > t then invalid_arg "Byzantine.lockstep: more than t corrupt";
+    let protocol = Dsim.Engine.protocol config in
+    let live p = not (Dsim.Engine.crashed config p) in
+    let sends =
+      List.filter_map
+        (fun p -> if live p then Some (Dsim.Step.Send p) else None)
+        (List.init n (fun i -> i))
+    in
+    let mailbox = Dsim.Engine.mailbox config in
+    let corruptions =
+      Dsim.Mailbox.pending mailbox
+      |> List.filter (fun e -> List.mem e.Dsim.Envelope.src corrupt)
+      |> List.filter_map (fun e ->
+             let payload = e.Dsim.Envelope.payload in
+             match flavour with
+             | Silent -> Some (Dsim.Step.Drop e.Dsim.Envelope.id)
+             | Flip -> (
+                 match protocol.Dsim.Protocol.message_bit payload with
+                 | None -> None
+                 | Some bit -> (
+                     match protocol.Dsim.Protocol.rewrite_bit payload (not bit) with
+                     | None -> None
+                     | Some payload' -> Some (Dsim.Step.Corrupt (e.Dsim.Envelope.id, payload'))))
+             | Equivocate -> (
+                 let dst_obs = Dsim.Engine.observe config e.Dsim.Envelope.dst in
+                 match dst_obs.Dsim.Obs.estimate with
+                 | None -> None
+                 | Some belief -> (
+                     match protocol.Dsim.Protocol.rewrite_bit payload belief with
+                     | None -> None
+                     | Some payload' -> Some (Dsim.Step.Corrupt (e.Dsim.Envelope.id, payload')))))
+    in
+    let delivers =
+      (* Recompute after corruption steps execute: ids are stable, only
+         payloads change, so planning deliveries now is sound.  Dropped
+         ids must be excluded. *)
+      let dropped =
+        List.filter_map
+          (function Dsim.Step.Drop id -> Some id | _ -> None)
+          corruptions
+      in
+      Dsim.Mailbox.pending_ids mailbox
+      |> List.filter (fun id -> not (List.mem id dropped))
+      |> List.map (fun id -> Dsim.Step.Deliver id)
+    in
+    sends @ corruptions @ delivers
+  in
+  fun config ->
+    if Queue.is_empty queue then List.iter (fun s -> Queue.add s queue) (plan config);
+    if Queue.is_empty queue then None else Some (Queue.pop queue)

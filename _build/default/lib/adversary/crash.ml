@@ -1,0 +1,65 @@
+let agenda plan =
+  let queue = Queue.create () in
+  fun config ->
+    if Queue.is_empty queue then List.iter (fun s -> Queue.add s queue) (plan config);
+    if Queue.is_empty queue then None else Some (Queue.pop queue)
+
+let live_pids config =
+  List.filter
+    (fun p -> not (Dsim.Engine.crashed config p))
+    (List.init (Dsim.Engine.n config) (fun i -> i))
+
+let fair_cycle config =
+  let sends = List.map (fun p -> Dsim.Step.Send p) (live_pids config) in
+  let delivers =
+    List.map
+      (fun id -> Dsim.Step.Deliver id)
+      (Dsim.Mailbox.pending_ids (Dsim.Engine.mailbox config))
+  in
+  sends @ delivers
+
+let at_start ~crash =
+  let crashed = ref false in
+  agenda (fun config ->
+      if not !crashed then begin
+        crashed := true;
+        let t = Dsim.Engine.fault_bound config in
+        if List.length crash > t then invalid_arg "Crash.at_start: more than t crashes";
+        List.map (fun p -> Dsim.Step.Crash p) crash @ fair_cycle config
+      end
+      else fair_cycle config)
+
+let staggered ~every =
+  if every <= 0 then invalid_arg "Crash.staggered: every must be positive";
+  let cycles = ref 0 in
+  let next_victim = ref 0 in
+  agenda (fun config ->
+      incr cycles;
+      let t = Dsim.Engine.fault_bound config in
+      let crashes =
+        if !cycles mod every = 0 && !next_victim < t then begin
+          let victim = !next_victim in
+          incr next_victim;
+          [ Dsim.Step.Crash victim ]
+        end
+        else []
+      in
+      crashes @ fair_cycle config)
+
+let before_decision () =
+  agenda (fun config ->
+      let t = Dsim.Engine.fault_bound config in
+      let already = Dsim.Engine.crashed_count config in
+      (* One victim per cycle: the undecided processor that has made the
+         most progress, so the crash erases the most information. *)
+      let victims =
+        if already >= t then []
+        else
+          Array.to_list (Dsim.Engine.observations config)
+          |> List.filter (fun o ->
+                 o.Dsim.Obs.output = None
+                 && not (Dsim.Engine.crashed config o.Dsim.Obs.id))
+          |> List.sort (fun a b -> compare b.Dsim.Obs.round a.Dsim.Obs.round)
+          |> (function [] -> [] | best :: _ -> [ Dsim.Step.Crash best.Dsim.Obs.id ])
+      in
+      victims @ fair_cycle config)

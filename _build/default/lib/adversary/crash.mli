@@ -1,0 +1,22 @@
+(** Crash adversaries for the classical asynchronous model (Section 5).
+
+    Up to [t] processors are stopped permanently; scheduling is
+    otherwise lockstep-fair.  The timing of the crashes is the
+    adversarial knob. *)
+
+val at_start : crash:int list -> ('s, 'm) Strategy.stepwise
+(** Crash the given processors before anything else happens, then
+    schedule fairly.  With [crash = []] this degenerates to
+    {!Benign.lockstep}. *)
+
+val staggered : every:int -> ('s, 'm) Strategy.stepwise
+(** Crash processor [0] after [every] delivery cycles, processor [1]
+    after [2 * every], ... until [t] processors are down.  Crashing
+    mid-execution maximizes the information the victims took with
+    them. *)
+
+val before_decision : unit -> ('s, 'm) Strategy.stepwise
+(** Spiteful: watch for processors whose estimates have converged and
+    crash the most-advanced undecided processors first (up to [t]),
+    then keep scheduling fairly.  A correct protocol must still
+    terminate. *)

@@ -1,0 +1,25 @@
+(** The echo-chamber adversary: view splitting by per-destination
+    deferral.
+
+    The symmetric balancing adversary ({!Split_vote.stepwise}) shows
+    every processor the same near-balanced multiset.  Against protocols
+    that adopt a majority with a deterministic tie-break (Bracha's
+    phase 1), identical views cause immediate convergence — so the
+    stronger schedule is *asymmetric*: show each processor a slim
+    majority for the estimate it already holds, keeping the population
+    split, while never letting anyone see the [> n/2] super-majority
+    that creates decision candidates.
+
+    Mechanics: per destination holding estimate [b], the votes of all
+    [b]-holders pass through, plus just enough opposite origins to
+    reach the [n - t] wait quorum; every other message carrying the
+    opposite vote is deferred — by *origin*, so relayed copies (echoes
+    and readies in reliable broadcast) are deferred wherever they
+    travel.  Deferred messages are delivered once the destination has
+    advanced past their round (every message is eventually delivered,
+    as the crash model requires), and a stall breaker flushes all
+    pending messages after [patience] cycles without round/phase
+    progress, preserving termination. *)
+
+val stepwise : ?patience:int -> unit -> ('s, 'm) Strategy.stepwise
+(** [patience] defaults to 8 cycles. *)

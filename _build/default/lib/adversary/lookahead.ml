@@ -1,0 +1,47 @@
+let default_candidates config =
+  let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+  let block start = List.init t (fun i -> (start + i) mod n) in
+  let silencers =
+    List.init n (fun start -> Dsim.Window.uniform ~n ~silenced:(block start) ())
+  in
+  let resetters =
+    List.init n (fun start ->
+        Dsim.Window.uniform ~n ~silenced:(block start) ~resets:(block start) ())
+  in
+  (Dsim.Window.uniform ~n () :: silencers) @ resetters
+
+let estimate_decision_probability config window ~samples ~horizon rng =
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let fork = Dsim.Engine.copy config in
+    (* Fresh coins: the adversary cannot see the future randomness. *)
+    Dsim.Engine.reseed fork (Prng.Stream.derive rng (Prng.Stream.bits rng));
+    Dsim.Engine.apply_window fork window;
+    let continuation = Split_vote.windowed () in
+    let outcome =
+      Dsim.Runner.run_windows fork ~strategy:continuation ~max_windows:horizon
+        ~stop:`First_decision
+    in
+    if outcome.Dsim.Runner.decided <> [] then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let windowed ~samples ~horizon ~seed ?(candidates = default_candidates) () =
+  let rng = Prng.Stream.root seed in
+  fun config ->
+    let scored =
+      List.map
+        (fun window ->
+          (estimate_decision_probability config window ~samples ~horizon rng, window))
+        (candidates config)
+    in
+    match scored with
+    | [] -> None
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun (best_score, best_window) (score, window) ->
+              if score < best_score then (score, window) else (best_score, best_window))
+            first rest
+        in
+        Some (snd best)

@@ -1,0 +1,32 @@
+(** Monte-Carlo lookahead: an executable approximation of the Theorem 5
+    proof adversary.
+
+    The proof's adversary inspects the configuration, determines the
+    largest [k] with [sigma ∉ Z^k_0 ∪ Z^k_1], and picks the acceptable
+    window that Lemma 14 guarantees avoids [Z^{k-1}_0 ∪ Z^{k-1}_1] with
+    high probability.  Exact membership in [Z^k_b] quantifies over all
+    windows and is not computable in general; this strategy replaces it
+    with its operational meaning: for every candidate window, fork the
+    configuration, re-randomize the coins (the adversary knows
+    everything *except* coins not yet flipped), play the window followed
+    by [horizon] windows of balancing continuation, and estimate the
+    probability that a decision is reached.  It then plays the candidate
+    with the lowest estimated decision probability.
+
+    Cost per window is [candidates * samples * horizon] simulated
+    windows — usable for small [n] only, which is what experiment runs
+    use it for. *)
+
+val windowed :
+  samples:int ->
+  horizon:int ->
+  seed:int ->
+  ?candidates:(('s, 'm) Dsim.Engine.t -> Dsim.Window.t list) ->
+  unit ->
+  ('s, 'm) Strategy.windowed
+(** Default candidates: the [n] uniform windows silencing each
+    contiguous block of [t] processors, the fault-free window, and for
+    each block additionally the variant resetting that block — mirroring
+    the proof's canonical [R, S, ..., S] window shapes. *)
+
+val default_candidates : ('s, 'm) Dsim.Engine.t -> Dsim.Window.t list

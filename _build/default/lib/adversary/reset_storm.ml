@@ -1,0 +1,40 @@
+let rotating () =
+  fun config ->
+    let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+    let base = Dsim.Engine.window_index config * t in
+    let resets = List.init t (fun i -> (base + i) mod n) in
+    Some (Dsim.Window.uniform ~n ~resets ())
+
+let random ~seed () =
+  let rng = Prng.Stream.root seed in
+  fun config ->
+    let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+    let resets = Prng.Stream.sample_without_replacement rng t n in
+    Some (Dsim.Window.uniform ~n ~resets ())
+
+let target_undecided () =
+  fun config ->
+    let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+    let candidates =
+      Array.to_list (Dsim.Engine.observations config)
+      |> List.filter (fun o -> o.Dsim.Obs.output = None)
+      (* Highest round first: erase the most progress. *)
+      |> List.sort (fun a b -> compare b.Dsim.Obs.round a.Dsim.Obs.round)
+    in
+    let resets =
+      List.filteri (fun i _ -> i < t) candidates |> List.map (fun o -> o.Dsim.Obs.id)
+    in
+    Some (Dsim.Window.uniform ~n ~resets ())
+
+let with_silence ~seed () =
+  let rng = Prng.Stream.root seed in
+  fun config ->
+    let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+    let resets = Prng.Stream.sample_without_replacement rng t n in
+    let silenced =
+      List.filter
+        (fun p -> not (List.mem p resets))
+        (Prng.Stream.sample_without_replacement rng (2 * t) n)
+      |> List.filteri (fun i _ -> i < t)
+    in
+    Some (Dsim.Window.uniform ~n ~silenced ~resets ())

@@ -1,0 +1,22 @@
+(** Resetting adversaries for the strongly adaptive model.
+
+    Every window ends with up to [t] resetting steps; over a long
+    execution the total number of failures vastly exceeds [t], which is
+    precisely the failure pattern the strongly adaptive model licenses
+    and Theorem 4's algorithm survives (experiment E7). *)
+
+val rotating : unit -> ('s, 'm) Strategy.windowed
+(** Reset a sliding block of [t] processors, advancing by [t] each
+    window, with full delivery otherwise. *)
+
+val random : seed:int -> unit -> ('s, 'm) Strategy.windowed
+(** Reset [t] processors chosen uniformly at random each window. *)
+
+val target_undecided : unit -> ('s, 'm) Strategy.windowed
+(** Reset the [t] undecided processors with the highest rounds — a
+    spiteful strategy that erases the most progress.  Decided
+    processors are pointless to reset (the output bit survives). *)
+
+val with_silence : seed:int -> unit -> ('s, 'm) Strategy.windowed
+(** Combine random resets with random silencing of [t] other senders:
+    the strongest generic stress the window model allows. *)

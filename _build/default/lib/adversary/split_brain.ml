@@ -1,0 +1,54 @@
+let windowed () =
+  fun config ->
+    let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+    let thresholds =
+      if Protocols.Thresholds.feasible ~n ~t then Protocols.Thresholds.default ~n ~t
+      else { Protocols.Thresholds.t1 = n - t; t2 = n - t; t3 = (n / 2) + 1 }
+    in
+    let t2 = thresholds.Protocols.Thresholds.t2
+    and t3 = thresholds.Protocols.Thresholds.t3 in
+    let observations = Dsim.Engine.observations config in
+    let holders value =
+      Array.to_list observations
+      |> List.filter_map (fun o ->
+             if o.Dsim.Obs.estimate = Some value then Some o.Dsim.Obs.id else None)
+    in
+    let ones = holders true and zeros = holders false in
+    let all = List.init n (fun i -> i) in
+    let take k l = List.filteri (fun i _ -> i < k) l in
+    (* Receive set for one recipient: hide the listed senders. *)
+    let receive_set_for dst =
+      match observations.(dst).Dsim.Obs.estimate with
+      | None -> all
+      | Some b ->
+          let own = if b then ones else zeros in
+          let opposite = if b then zeros else ones in
+          let own_count = List.length own and opp_count = List.length opposite in
+          if own_count >= t3 then begin
+            (* Sustain b: cap own votes below T2 and opposite below T3;
+               hide from the high ids so dst's own vote stays visible. *)
+            let hide_own = max 0 (own_count - (t2 - 1)) in
+            let hide_opp = max 0 (opp_count - (t3 - 1)) in
+            if hide_own + hide_opp <= t then
+              let hidden =
+                take hide_own (List.rev (List.filter (fun p -> p <> dst) own))
+                @ take hide_opp (List.rev opposite)
+              in
+              List.filter (fun p -> not (List.mem p hidden)) all
+            else all
+          end
+          else begin
+            (* Cannot sustain b: balance so dst falls through to its
+               coin rather than adopting the other side. *)
+            let majority, minority =
+              if own_count >= opp_count then (own, opposite) else (opposite, own)
+            in
+            let hide = min t (List.length majority - List.length minority) in
+            let hidden = take hide (List.rev majority) in
+            List.filter (fun p -> not (List.mem p hidden)) all
+          end
+    in
+    Some
+      (Dsim.Window.make
+         ~receive_sets:(Array.init n receive_set_for)
+         ~resets:[])

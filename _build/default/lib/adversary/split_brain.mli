@@ -1,0 +1,25 @@
+(** The split-brain adversary: per-recipient receive sets that freeze a
+    population split of the variant algorithm.
+
+    The balancing adversary ({!Split_vote}) shows everyone the same
+    trimmed view; against a *derandomized* variant (step-3 coin pinned
+    to a constant) that actually causes instant convergence — identical
+    views plus a deterministic fallback agree everywhere.  The stronger
+    schedule tailors [S_i] per recipient:
+
+    - a recipient currently estimating [b], when the census allows it,
+      is shown at least [T3] but at most [T2 - 1] votes for [b] (so it
+      re-adopts [b] deterministically without being able to decide) and
+      fewer than [T3] votes for [not b];
+    - a recipient whose estimate cannot be sustained is shown a
+      balanced view and falls through to its coin.
+
+    Against the deterministic variant with a pinned coin this freezes
+    the split *forever* — the FLP non-termination phenomenon inside the
+    acceptable-window model (see [examples/flp_determinism.ml]).
+    Against the honest randomized variant the frozen side still holds,
+    but the coin side drifts, and Theorem 4's termination eventually
+    wins.  Requires the default Theorem 4 thresholds to compute its
+    targets. *)
+
+val windowed : unit -> ('s, 'm) Strategy.windowed

@@ -1,0 +1,38 @@
+(** The balancing ("split-vote") adversary.
+
+    This is the strategy behind Section 3's closing remark: when the
+    inputs are split, the adversary silences up to [t] holders of the
+    majority estimate each window, "showing every processor an
+    approximate split between 0 and 1 messages", so that (unless a
+    chance super-majority arises) every processor falls through to its
+    random coin in step 3.  Each window then succeeds in forcing
+    progress only with probability roughly [2^{-n}] — the exponential
+    running time measured by experiments E2/E3.
+
+    The strategy gives up (delivers everything) once the vote census is
+    so lopsided that silencing [t] majority holders can no longer
+    prevent a deterministic adoption — at that point the algorithm is
+    about to decide regardless. *)
+
+val windowed : unit -> ('s, 'm) Strategy.windowed
+(** Balancing via uniform receive sets: every processor receives from
+    the same [S] = everyone minus up to [t] majority holders. *)
+
+val windowed_with_resets : unit -> ('s, 'm) Strategy.windowed
+(** Balancing plus resets: additionally resets up to [t] of the
+    *remaining* majority holders at window end, erasing their adopted
+    estimates (they re-join with fresh randomness).  Strictly nastier
+    than {!windowed} in the strongly adaptive model. *)
+
+val stepwise : unit -> ('s, 'm) Strategy.stepwise
+(** Free-running balancing for the crash model (used against Ben-Or and
+    Bracha in E3/E8).  Lockstep cycles: send for everyone, then deliver
+    to each processor all fresh messages except those from up to [t]
+    senders whose messages carry the over-represented vote for that
+    processor's current wait.  Excluded messages are delayed forever
+    (dropped), which at most [t] crash failures can always explain. *)
+
+val escape_threshold : n:int -> t:int -> thresholds:Protocols.Thresholds.t -> int
+(** The census majority size at which balancing fails against the
+    variant algorithm: [T3 + t] (silencing [t] still leaves [T3]
+    agreeing votes visible to everybody). *)

@@ -1,0 +1,37 @@
+(** Adversary strategies.
+
+    The paper models an adversary as a deterministic function from the
+    partial execution to the next applicable step (Section 2).  Because
+    the engine's configuration determines everything the adversary may
+    depend on (it has full information), we realize an adversary as a
+    function of the current configuration.  Strategies may carry hidden
+    mutable state (agendas, randomness of their own): the paper allows
+    arbitrary adversaries, and derandomizing a randomized adversary only
+    strengthens it.
+
+    Two shapes, matching {!Dsim.Runner}'s two disciplines. *)
+
+type ('s, 'm) windowed = ('s, 'm) Dsim.Engine.t -> Dsim.Window.t option
+(** Supplies the next acceptable window, or halts. *)
+
+type ('s, 'm) stepwise = ('s, 'm) Dsim.Engine.t -> 'm Dsim.Step.t option
+(** Supplies the next fine-grained step, or halts. *)
+
+val limit_windows : int -> ('s, 'm) windowed -> ('s, 'm) windowed
+(** Halt after the given number of windows have been supplied. *)
+
+val switch_after : int -> ('s, 'm) windowed -> ('s, 'm) windowed -> ('s, 'm) windowed
+(** Play the first strategy for [k] windows, then the second. *)
+
+val vote_census : ('s, 'm) Dsim.Engine.t -> int * int * int
+(** [(zeros, ones, silent)]: how many processors will vote 0, vote 1,
+    or not vote in the coming window, read off the full-information
+    observations (estimates of non-recovering processors).  The census
+    is exact for protocols whose per-window vote equals their current
+    estimate — sending steps are deterministic, so the adversary can
+    always predict them. *)
+
+val majority_holders : ('s, 'm) Dsim.Engine.t -> limit:int -> int list
+(** Up to [limit] processor ids currently holding the majority estimate
+    (ties broken toward value [false]), lowest ids first.  The natural
+    silencing set for a balancing adversary. *)

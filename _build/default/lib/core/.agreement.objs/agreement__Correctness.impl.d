@@ -1,0 +1,1 @@
+lib/core/correctness.ml: Array Dsim Format List

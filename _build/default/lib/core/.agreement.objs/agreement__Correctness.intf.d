@@ -1,0 +1,1 @@
+lib/core/correctness.mli: Dsim Format

@@ -1,0 +1,1 @@
+lib/core/ensemble.ml: Array Correctness Dsim List Stats

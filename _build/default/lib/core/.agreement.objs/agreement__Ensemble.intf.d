@@ -1,0 +1,1 @@
+lib/core/ensemble.mli: Adversary Dsim Stats

@@ -1,0 +1,1 @@
+lib/core/repro.ml: Adversary Array Dsim Ensemble Lazy List Lowerbound Printf Prng Protocols Shmem Stats String Syncsim

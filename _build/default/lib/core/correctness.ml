@@ -1,0 +1,22 @@
+type verdict = {
+  agreement : bool;
+  validity : bool;
+  decided : int;
+  value : bool option;
+}
+
+let of_outcome ~inputs (outcome : Dsim.Runner.outcome) =
+  let values = List.map snd outcome.Dsim.Runner.decided in
+  let agreement = not (List.mem true values && List.mem false values) in
+  let validity =
+    List.for_all (fun v -> Array.exists (fun input -> input = v) inputs) values
+  in
+  let value = match values with [] -> None | v :: _ -> if agreement then Some v else None in
+  { agreement; validity; decided = List.length values; value }
+
+let ok v = v.agreement && v.validity
+
+let pp ppf v =
+  Format.fprintf ppf "agreement=%b validity=%b decided=%d value=%s" v.agreement
+    v.validity v.decided
+    (match v.value with None -> "-" | Some true -> "1" | Some false -> "0")

@@ -1,0 +1,23 @@
+(** Checkers for the paper's correctness notions (Definition 2).
+
+    Measure-one correctness demands that every reachable configuration
+    contains only agreeing or ⊥ outputs, and that a non-⊥ output equals
+    some processor's input.  A simulation cannot quantify over all
+    reachable configurations, but it can check every configuration an
+    execution actually visits; the engine records decisions as they
+    happen, so checking the final outcome suffices (outputs are
+    write-once). *)
+
+type verdict = {
+  agreement : bool;  (** No two opposite outputs were ever written. *)
+  validity : bool;  (** Every written output equals some input. *)
+  decided : int;  (** Number of processors with a written output. *)
+  value : bool option;  (** The common decision value, when one exists. *)
+}
+
+val of_outcome : inputs:bool array -> Dsim.Runner.outcome -> verdict
+
+val ok : verdict -> bool
+(** Agreement and validity both hold. *)
+
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,107 @@
+type spec = {
+  n : int;
+  t : int;
+  inputs : int -> bool array;
+  max_windows : int;
+  max_steps : int;
+  stop : Dsim.Runner.stop_condition;
+}
+
+let split_inputs ~n seed = Array.init n (fun i -> (i + seed) mod 2 = 0)
+let constant_inputs ~n value _seed = Array.make n value
+
+type result = {
+  runs : int;
+  agreement_failures : int;
+  validity_failures : int;
+  terminated : int;
+  windows : Stats.Summary.t;
+  steps : Stats.Summary.t;
+  chain_depth : Stats.Summary.t;
+  total_resets : Stats.Summary.t;
+  decisions_zero : int;
+  decisions_one : int;
+  window_histogram : Stats.Histogram.t;
+}
+
+(* A function, not a constant: the histogram is mutable and must be
+   fresh per sweep. *)
+let empty_result () =
+  {
+    runs = 0;
+    agreement_failures = 0;
+    validity_failures = 0;
+    terminated = 0;
+    windows = Stats.Summary.empty;
+    steps = Stats.Summary.empty;
+    chain_depth = Stats.Summary.empty;
+    total_resets = Stats.Summary.empty;
+    decisions_zero = 0;
+    decisions_one = 0;
+    window_histogram = Stats.Histogram.create ();
+  }
+
+let fold_outcome acc ~inputs (outcome : Dsim.Runner.outcome) =
+  let verdict = Correctness.of_outcome ~inputs outcome in
+  let terminated = outcome.Dsim.Runner.reason = Dsim.Runner.Stopped in
+  if terminated then Stats.Histogram.add acc.window_histogram outcome.Dsim.Runner.windows;
+  {
+    acc with
+    runs = acc.runs + 1;
+    agreement_failures =
+      (acc.agreement_failures + if verdict.Correctness.agreement then 0 else 1);
+    validity_failures =
+      (acc.validity_failures + if verdict.Correctness.validity then 0 else 1);
+    terminated = (acc.terminated + if terminated then 1 else 0);
+    windows =
+      (if terminated then Stats.Summary.add_int acc.windows outcome.Dsim.Runner.windows
+       else acc.windows);
+    steps =
+      (if terminated then Stats.Summary.add_int acc.steps outcome.Dsim.Runner.steps
+       else acc.steps);
+    chain_depth =
+      (if terminated then
+         Stats.Summary.add_int acc.chain_depth outcome.Dsim.Runner.max_chain_depth
+       else acc.chain_depth);
+    total_resets = Stats.Summary.add_int acc.total_resets outcome.Dsim.Runner.total_resets;
+    decisions_zero =
+      (acc.decisions_zero
+      + if terminated && verdict.Correctness.value = Some false then 1 else 0);
+    decisions_one =
+      (acc.decisions_one
+      + if terminated && verdict.Correctness.value = Some true then 1 else 0);
+  }
+
+let run_windowed ~protocol ~strategy ~spec ~seeds =
+  List.fold_left
+    (fun acc seed ->
+      let inputs = spec.inputs seed in
+      let config =
+        Dsim.Engine.init ~protocol ~n:spec.n ~fault_bound:spec.t ~inputs ~seed ()
+      in
+      let outcome =
+        Dsim.Runner.run_windows config ~strategy:(strategy seed)
+          ~max_windows:spec.max_windows ~stop:spec.stop
+      in
+      fold_outcome acc ~inputs outcome)
+    (empty_result ()) seeds
+
+let run_stepwise ~protocol ~strategy ~spec ~seeds =
+  List.fold_left
+    (fun acc seed ->
+      let inputs = spec.inputs seed in
+      let config =
+        Dsim.Engine.init ~protocol ~n:spec.n ~fault_bound:spec.t ~inputs ~seed ()
+      in
+      let outcome =
+        Dsim.Runner.run_steps config ~strategy:(strategy seed) ~max_steps:spec.max_steps
+          ~stop:spec.stop
+      in
+      fold_outcome acc ~inputs outcome)
+    (empty_result ()) seeds
+
+let rate part total = if total = 0 then nan else float_of_int part /. float_of_int total
+
+let termination_rate r = rate r.terminated r.runs
+let agreement_rate r = rate (r.runs - r.agreement_failures) r.runs
+let validity_rate r = rate (r.runs - r.validity_failures) r.runs

@@ -1,0 +1,55 @@
+(** Seed ensembles: run one (protocol, adversary) pair across many
+    seeds and aggregate the paper-relevant statistics.
+
+    Every experiment row in the reproduction harness is produced by one
+    of these sweeps.  All runs are deterministic functions of their
+    seed. *)
+
+type spec = {
+  n : int;
+  t : int;
+  inputs : int -> bool array;
+      (** Inputs per seed (e.g. constant split, or rotated). *)
+  max_windows : int;  (** Budget for windowed runs. *)
+  max_steps : int;  (** Budget for free-running runs. *)
+  stop : Dsim.Runner.stop_condition;
+}
+
+val split_inputs : n:int -> int -> bool array
+(** Alternating 0/1 inputs, rotated by the seed so both values lead. *)
+
+val constant_inputs : n:int -> bool -> int -> bool array
+
+type result = {
+  runs : int;
+  agreement_failures : int;
+  validity_failures : int;
+  terminated : int;  (** Runs where the stop condition fired in budget. *)
+  windows : Stats.Summary.t;  (** Windows to stop, over terminated runs. *)
+  steps : Stats.Summary.t;
+  chain_depth : Stats.Summary.t;  (** Message-chain length at stop. *)
+  total_resets : Stats.Summary.t;
+  decisions_zero : int;  (** Terminated runs deciding 0. *)
+  decisions_one : int;
+  window_histogram : Stats.Histogram.t;  (** Windows-to-stop distribution. *)
+}
+
+val run_windowed :
+  protocol:('s, 'm) Dsim.Protocol.t ->
+  strategy:(int -> ('s, 'm) Adversary.Strategy.windowed) ->
+  spec:spec ->
+  seeds:int list ->
+  result
+(** One windowed run per seed; the strategy factory receives the seed
+    so stateful strategies are fresh per run. *)
+
+val run_stepwise :
+  protocol:('s, 'm) Dsim.Protocol.t ->
+  strategy:(int -> ('s, 'm) Adversary.Strategy.stepwise) ->
+  spec:spec ->
+  seeds:int list ->
+  result
+
+val termination_rate : result -> float
+val agreement_rate : result -> float
+val validity_rate : result -> float

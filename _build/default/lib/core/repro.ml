@@ -1,0 +1,995 @@
+type scale = [ `Quick | `Full ]
+
+let seeds_list count = List.init count (fun i -> i + 1)
+
+let fault_bound_for n = max 1 (Protocols.Thresholds.max_fault_bound ~n)
+
+(* ------------------------------------------------------------------ *)
+(* E1: Theorem 4 correctness/termination matrix.                       *)
+
+let e1_adversaries :
+    (string * (int -> ('s, 'm) Adversary.Strategy.windowed)) list =
+  [
+    ("benign", fun _seed -> Adversary.Benign.windowed ());
+    ("silence-first-t", fun _seed -> Adversary.Silence.first_t);
+    ("silence-last-t", fun _seed -> Adversary.Silence.last_t);
+    ( "silence-rotating",
+      fun _seed config ->
+        Adversary.Silence.rotating ~period:3
+          ~count:(Dsim.Engine.fault_bound config)
+          config );
+    ("reset-rotating", fun _seed -> Adversary.Reset_storm.rotating ());
+    ("reset-random", fun seed -> Adversary.Reset_storm.random ~seed ());
+    ("reset-targeted", fun _seed -> Adversary.Reset_storm.target_undecided ());
+    ("balancing", fun _seed -> Adversary.Split_vote.windowed ());
+    ("balance+reset", fun _seed -> Adversary.Split_vote.windowed_with_resets ());
+    ("reset+silence", fun seed -> Adversary.Reset_storm.with_silence ~seed ());
+    ("split-brain", fun _seed -> Adversary.Split_brain.windowed ());
+  ]
+
+let e1_theorem4_matrix ~scale =
+  let ns, seed_count, max_windows =
+    match scale with
+    | `Full -> ([ 12; 18; 24; 30 ], 120, 20_000)
+    | `Quick -> ([ 12; 18 ], 15, 20_000)
+  in
+  let table =
+    Stats.Table.create ~title:"E1: Theorem 4 — variant algorithm vs strongly adaptive adversaries"
+      ~columns:
+        [ "n"; "t"; "adversary"; "runs"; "agreement"; "validity"; "termination";
+          "mean windows"; "mean resets" ]
+  in
+  List.iter
+    (fun n ->
+      let t = fault_bound_for n in
+      let spec =
+        {
+          Ensemble.n;
+          t;
+          inputs = Ensemble.split_inputs ~n;
+          max_windows;
+          max_steps = 0;
+          stop = `All_decided;
+        }
+      in
+      List.iter
+        (fun (name, strategy) ->
+          let result =
+            Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+              ~strategy ~spec ~seeds:(seeds_list seed_count)
+          in
+          Stats.Table.add_row table
+            [
+              I n; I t; S name; I result.Ensemble.runs;
+              Pct (Ensemble.agreement_rate result);
+              Pct (Ensemble.validity_rate result);
+              Pct (Ensemble.termination_rate result);
+              F (Stats.Summary.mean result.Ensemble.windows);
+              F (Stats.Summary.mean result.Ensemble.total_resets);
+            ])
+        e1_adversaries)
+    ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E2: exponential running time of the variant under balancing.        *)
+
+let e2_spec ~n ~max_windows =
+  {
+    Ensemble.n;
+    t = 1;
+    inputs = Ensemble.split_inputs ~n;
+    max_windows;
+    max_steps = 0;
+    stop = `First_decision;
+  }
+
+(* Analytic per-window escape probability: the balancing adversary
+   fails only when the census majority reaches T3 + t. *)
+let escape_probability ~n ~t =
+  let thresholds = Protocols.Thresholds.default ~n ~t in
+  let threshold = Adversary.Split_vote.escape_threshold ~n ~t ~thresholds in
+  2.0 *. Stats.Tail.majority_success_probability ~n ~threshold
+
+let e2_exponential_variant ~scale =
+  let ns, seed_count =
+    match scale with
+    | `Full -> ([ 7; 9; 11; 13; 15; 17 ], 200)
+    | `Quick -> ([ 7; 9; 11 ], 30)
+  in
+  let table =
+    Stats.Table.create ~title:"E2: variant under balancing adversary — windows to decision vs n (t = 1)"
+      ~columns:
+        [ "n"; "runs"; "mean windows"; "ci95"; "p90"; "analytic 1/p"; "log2 mean" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let spec = e2_spec ~n ~max_windows:400_000 in
+      let result =
+        Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+          ~strategy:(fun _ -> Adversary.Split_vote.windowed ())
+          ~spec ~seeds:(seeds_list seed_count)
+      in
+      let mean = Stats.Summary.mean result.Ensemble.windows in
+      points := (float_of_int n, mean) :: !points;
+      let p90 =
+        if Stats.Histogram.count result.Ensemble.window_histogram = 0 then 0
+        else Stats.Histogram.quantile result.Ensemble.window_histogram 0.9
+      in
+      Stats.Table.add_row table
+        [
+          I n; I result.Ensemble.runs; F mean;
+          F (Stats.Summary.ci95_half_width result.Ensemble.windows);
+          I p90;
+          F (1.0 /. escape_probability ~n ~t:1);
+          F (log mean /. log 2.0);
+        ])
+    ns;
+  let fit = Stats.Regression.log2_linear (List.rev !points) in
+  (table, fit)
+
+let e2_survival ~scale =
+  let n, seed_count = match scale with `Full -> (13, 400) | `Quick -> (9, 60) in
+  let spec = e2_spec ~n ~max_windows:400_000 in
+  let result =
+    Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+      ~strategy:(fun _ -> Adversary.Split_vote.windowed ())
+      ~spec ~seeds:(seeds_list seed_count)
+  in
+  let table =
+    Stats.Table.create
+      ~title:(Printf.sprintf "E2 (series): survival P[windows > k], n = %d, t = 1" n)
+      ~columns:[ "k"; "P[windows > k]" ]
+  in
+  let survival = Stats.Histogram.survival result.Ensemble.window_histogram in
+  (* Thin the series to at most ~20 rows. *)
+  let len = List.length survival in
+  let stride = max 1 (len / 20) in
+  List.iteri
+    (fun i (k, p) -> if i mod stride = 0 || i = len - 1 then
+        Stats.Table.add_row table [ I k; F p ])
+    survival;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E3: baselines under balancing schedules.                            *)
+
+let e3_baselines ~scale =
+  let ben_or_ns, bracha_ns, seed_count =
+    match scale with
+    | `Full -> ([ 5; 7; 9; 11 ], [ 4; 7; 10 ], 80)
+    | `Quick -> ([ 5; 7 ], [ 4; 7 ], 15)
+  in
+  let table =
+    Stats.Table.create ~title:"E3: baselines under adversarial schedules — growth with n"
+      ~columns:
+        [ "protocol"; "model"; "strategy"; "n"; "t"; "runs"; "termination";
+          "mean steps"; "mean chain length" ]
+  in
+  let cell protocol model strategy_name strategy ~n ~t =
+    let spec =
+      {
+        Ensemble.n;
+        t;
+        inputs = Ensemble.split_inputs ~n;
+        max_windows = 0;
+        max_steps = 6_000_000;
+        stop = `First_decision;
+      }
+    in
+    let result = Ensemble.run_stepwise ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) in
+    Stats.Table.add_row table
+      [
+        S protocol.Dsim.Protocol.name; S model; S strategy_name; I n; I t;
+        I result.Ensemble.runs;
+        Pct (Ensemble.termination_rate result);
+        F (Stats.Summary.mean result.Ensemble.steps);
+        F (Stats.Summary.mean result.Ensemble.chain_depth);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let t = max 1 ((n - 1) / 2) in
+      cell (Protocols.Ben_or.protocol ()) "crash" "balancing"
+        (fun _ -> Adversary.Split_vote.stepwise ())
+        ~n ~t)
+    ben_or_ns;
+  List.iter
+    (fun n ->
+      let t = max 1 ((n - 1) / 3) in
+      cell (Protocols.Bracha.protocol ()) "byzantine" "balancing"
+        (fun _ -> Adversary.Split_vote.stepwise ())
+        ~n ~t;
+      cell (Protocols.Bracha.protocol ()) "byzantine" "echo-chamber"
+        (fun _ -> Adversary.Echo_chamber.stepwise ())
+        ~n ~t)
+    bracha_ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E4: Talagrand / Lemma 9 numerics.                                   *)
+
+let e4_talagrand ~scale =
+  let configs =
+    match scale with
+    | `Full ->
+        [ (16, `Exact); (20, `Exact); (64, `Mc); (128, `Mc) ]
+    | `Quick -> [ (16, `Exact); (64, `Mc) ]
+  in
+  let table =
+    Stats.Table.create ~title:"E4: Lemma 9 — P(A)(1 - P(B(A,d))) vs exp(-d^2/4n)"
+      ~columns:[ "n"; "mode"; "set A"; "d"; "P[A]"; "P[B(A,d)]"; "lhs"; "bound"; "holds" ]
+  in
+  List.iter
+    (fun (n, mode) ->
+      let space = Lowerbound.Product.uniform_bits ~n in
+      let sets =
+        [
+          (Printf.sprintf "weight>=%d" ((n / 2) + (n / 8)),
+           Lowerbound.Talagrand.Weight_ge ((n / 2) + (n / 8)));
+          (Printf.sprintf "weight>=%d" ((3 * n) / 4),
+           Lowerbound.Talagrand.Weight_ge ((3 * n) / 4));
+          ("ball(0,n/8)",
+           Lowerbound.Talagrand.Ball { center = Array.make n 0; radius = n / 8 });
+        ]
+      in
+      let ds = [ n / 8; n / 4; (3 * n) / 8; n / 2 ] in
+      List.iter
+        (fun (set_name, set) ->
+          List.iter
+            (fun d ->
+              let samples = match mode with `Exact -> 1 | `Mc -> 200_000 in
+              let check =
+                Lowerbound.Talagrand.check ~samples ~seed:(n + d) space set ~d
+              in
+              Stats.Table.add_row table
+                [
+                  I n;
+                  S (match mode with `Exact -> "exact" | `Mc -> "mc");
+                  S set_name; I d;
+                  F check.Lowerbound.Talagrand.p_a;
+                  F check.Lowerbound.Talagrand.p_expansion;
+                  F check.Lowerbound.Talagrand.lhs;
+                  F check.Lowerbound.Talagrand.bound;
+                  B check.Lowerbound.Talagrand.holds;
+                ])
+            ds)
+        sets)
+    configs;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E5: Lemma 14 interpolation sweep.                                   *)
+
+let e5_interpolation ~scale =
+  (* Parameters chosen so eta is meaningfully small and the crossing
+     index is interior: t just under the set gap, strongly biased
+     endpoint distributions. *)
+  let n, samples = match scale with `Full -> (64, 60_000) | `Quick -> (48, 20_000) in
+  let k0 = (n / 2) - (n / 6) and k1 = (n / 2) + (n / 6) in
+  let t = k1 - k0 - 1 in
+  let z0 = Lowerbound.Talagrand.Weight_le k0 in
+  let z1 = Lowerbound.Talagrand.Weight_ge k1 in
+  let pi0 = Lowerbound.Product.bernoulli (Array.make n 0.2) in
+  let pi_n = Lowerbound.Product.bernoulli (Array.make n 0.8) in
+  let result = Lowerbound.Interpolation.sweep ~samples ~pi0 ~pi_n ~z0 ~z1 ~t () in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E5: Lemma 14 hybrids (n = %d, t = %d, Z0 = weight<=%d, Z1 = weight>=%d, eta = %.3f, j* = %d, conclusion holds = %b)"
+           n t k0 k1 result.Lowerbound.Interpolation.eta
+           result.Lowerbound.Interpolation.j_star
+           result.Lowerbound.Interpolation.conclusion_holds)
+      ~columns:[ "j"; "P_pij[Z0]"; "P_pij[Z1]" ]
+  in
+  let stride = max 1 (n / 10) in
+  List.iter
+    (fun point ->
+      let j = point.Lowerbound.Interpolation.j in
+      if j mod stride = 0 || j = result.Lowerbound.Interpolation.j_star || j = n then
+        Stats.Table.add_row table
+          [
+            I j;
+            F point.Lowerbound.Interpolation.p_z0;
+            F point.Lowerbound.Interpolation.p_z1;
+          ])
+    result.Lowerbound.Interpolation.curve;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E5b: Z^k probes on real configurations.                             *)
+
+let e5b_zk_sets ~scale =
+  let separations, member_samples =
+    match scale with
+    | `Full -> ([ (7, 1); (13, 2) ], 12)
+    | `Quick -> ([ (7, 1) ], 6)
+  in
+  let table =
+    Stats.Table.create ~title:"E5b: Z^k probes on the variant algorithm"
+      ~columns:[ "probe"; "n"; "t"; "detail"; "result" ]
+  in
+  let protocol = Protocols.Lewko_variant.protocol () in
+  let describe sep =
+    Printf.sprintf "min distance %s over %d pairs (bound t = %d)"
+      (if sep.Lowerbound.Zk_sets.min_distance = max_int then "-"
+       else string_of_int sep.Lowerbound.Zk_sets.min_distance)
+      sep.Lowerbound.Zk_sets.pairs_checked sep.Lowerbound.Zk_sets.bound
+  in
+  List.iter
+    (fun (n, t) ->
+      let sep =
+        Lowerbound.Zk_sets.estimate_z0_separation ~protocol ~n ~t ~runs:60 ~seed:17
+      in
+      Stats.Table.add_row table
+        [
+          S "Z0 separation (Lemma 11)"; I n; I t; S (describe sep);
+          B sep.Lowerbound.Zk_sets.holds;
+        ])
+    separations;
+  (* Lemma 13 at level k = 1: sampled Z^1 buckets stay separated. *)
+  let sep1 =
+    Lowerbound.Zk_sets.estimate_zk_separation ~protocol ~n:7 ~t:1 ~k:1 ~runs:30
+      ~samples:member_samples ~seed:29
+  in
+  Stats.Table.add_row table
+    [
+      S "Z1 separation (Lemma 13)"; I 7; I 1; S (describe sep1);
+      B sep1.Lowerbound.Zk_sets.holds;
+    ];
+  (* Z^1 membership of initial configurations. *)
+  let n = 7 and t = 1 in
+  let tau = Stats.Tail.tau ~n ~t in
+  let rng = Prng.Stream.root 23 in
+  let membership inputs value =
+    let config =
+      Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed:5 ()
+    in
+    Lowerbound.Zk_sets.member config ~k:1 ~value ~samples:member_samples ~tau ~rng
+  in
+  let all_zero = Array.make n false and all_one = Array.make n true in
+  let split = Array.init n (fun i -> i mod 2 = 0) in
+  let check name inputs value expected =
+    let got = membership inputs value in
+    Stats.Table.add_row table
+      [
+        S "Z^1 membership"; I n; I t;
+        S
+          (Printf.sprintf "%s in Z^1_%d: got %b, expect %b" name
+             (if value then 1 else 0)
+             got expected);
+        B (got = expected);
+      ]
+  in
+  check "all-zero inputs" all_zero false true;
+  check "all-zero inputs" all_zero true false;
+  check "all-one inputs" all_one true true;
+  check "all-one inputs" all_one false false;
+  check "split inputs" split false false;
+  check "split inputs" split true false;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E6: Theorem 5 constants.                                            *)
+
+let e6_theory_constants ~scale =
+  let cs = [ 1.0 /. 6.0; 1.0 /. 12.0; 1.0 /. 24.0 ] in
+  let ns =
+    match scale with
+    | `Full -> [ 64; 256; 1024; 4096; 16384 ]
+    | `Quick -> [ 64; 1024 ]
+  in
+  let table =
+    Stats.Table.create
+      ~title:"E6: Theorem 5 constants — guaranteed windows E(n) = C e^{alpha n}"
+      ~columns:
+        [ "c"; "alpha"; "crossover n"; "n"; "log2 E(n)"; "success prob >="; "(3) holds" ]
+  in
+  List.iter
+    (fun c ->
+      let k = Lowerbound.Theory.derive ~c in
+      List.iter
+        (fun n ->
+          Stats.Table.add_row table
+            [
+              F c; F k.Lowerbound.Theory.alpha;
+              F (Lowerbound.Theory.crossover_n k);
+              I n;
+              F (Lowerbound.Theory.log_windows k ~n /. log 2.0);
+              F (Lowerbound.Theory.success_probability_lower_bound k ~n);
+              B (Lowerbound.Theory.exponent_inequality_holds k ~n);
+            ])
+        ns)
+    cs;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E7: reset resilience.                                               *)
+
+let e7_reset_resilience ~scale =
+  let seed_count = match scale with `Full -> 100 | `Quick -> 15 in
+  let table =
+    Stats.Table.create
+      ~title:"E7: cumulative resets absorbed (t per window) while staying correct"
+      ~columns:
+        [ "n"; "t"; "adversary"; "runs"; "agreement"; "termination"; "mean windows";
+          "mean total resets"; "resets / t" ]
+  in
+  let strategies =
+    [
+      ("reset-rotating", fun _seed -> Adversary.Reset_storm.rotating ());
+      ("reset-random", fun seed -> Adversary.Reset_storm.random ~seed ());
+      ("reset-targeted", fun _seed -> Adversary.Reset_storm.target_undecided ());
+      ("balance+reset", fun _seed -> Adversary.Split_vote.windowed_with_resets ());
+    ]
+  in
+  List.iter
+    (fun (n, t) ->
+      let spec =
+        {
+          Ensemble.n;
+          t;
+          inputs = Ensemble.split_inputs ~n;
+          max_windows = 50_000;
+          max_steps = 0;
+          stop = `All_decided;
+        }
+      in
+      List.iter
+        (fun (name, strategy) ->
+          let result =
+            Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+              ~strategy ~spec ~seeds:(seeds_list seed_count)
+          in
+          let mean_resets = Stats.Summary.mean result.Ensemble.total_resets in
+          Stats.Table.add_row table
+            [
+              I n; I t; S name; I result.Ensemble.runs;
+              Pct (Ensemble.agreement_rate result);
+              Pct (Ensemble.termination_rate result);
+              F (Stats.Summary.mean result.Ensemble.windows);
+              F mean_resets;
+              F (mean_resets /. float_of_int t);
+            ])
+        strategies)
+    [ (13, 2); (19, 3) ];
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E8: forgetful / fully-communicative class and chain lengths.        *)
+
+let e8_forgetful_class ~scale =
+  let seeds, windows_per_run, chain_ns, chain_seeds =
+    match scale with
+    | `Full -> ([ 1; 2; 3; 4; 5 ], 25, [ 5; 7; 9; 11 ], 60)
+    | `Quick -> ([ 1; 2 ], 12, [ 5; 7 ], 12)
+  in
+  let table =
+    Stats.Table.create ~title:"E8: Definitions 15/16 classification and Theorem 17 setting"
+      ~columns:[ "row"; "protocol"; "detail"; "ok" ]
+  in
+  let classify name protocol ~n ~t =
+    let report = Protocols.Classifier.check protocol ~n ~t ~seeds ~windows_per_run in
+    let show verdict =
+      match verdict with
+      | Protocols.Classifier.No_counterexample k ->
+          Printf.sprintf "no counterexample (%d checks)" k
+      | Protocols.Classifier.Counterexample _ -> "counterexample found"
+    in
+    Stats.Table.add_row table
+      [
+        S "class"; S name;
+        S
+          (Printf.sprintf "forgetful: declared %b, %s; fully-comm: declared %b, %s"
+             report.Protocols.Classifier.declared_forgetful
+             (show report.Protocols.Classifier.forgetful)
+             report.Protocols.Classifier.declared_fully_communicative
+             (show report.Protocols.Classifier.fully_communicative));
+        B (Protocols.Classifier.consistent report);
+      ]
+  in
+  classify "lewko-variant" (Protocols.Lewko_variant.protocol ()) ~n:13 ~t:2;
+  classify "ben-or" (Protocols.Ben_or.protocol ()) ~n:9 ~t:2;
+  classify "bracha" (Protocols.Bracha.protocol ()) ~n:7 ~t:2;
+  (* Chain-length growth for the forgetful, fully communicative Ben-Or
+     under crash balancing — the quantity Theorem 17 lower-bounds. *)
+  List.iter
+    (fun n ->
+      let t = max 1 ((n - 1) / 2) in
+      let spec =
+        {
+          Ensemble.n;
+          t;
+          inputs = Ensemble.split_inputs ~n;
+          max_windows = 0;
+          max_steps = 6_000_000;
+          stop = `First_decision;
+        }
+      in
+      let result =
+        Ensemble.run_stepwise ~protocol:(Protocols.Ben_or.protocol ())
+          ~strategy:(fun _ -> Adversary.Split_vote.stepwise ())
+          ~spec ~seeds:(seeds_list chain_seeds)
+      in
+      Stats.Table.add_row table
+        [
+          S "chain-length"; S "ben-or";
+          S
+            (Printf.sprintf "n=%d t=%d mean chain %.1f (term %.0f%%)" n t
+               (Stats.Summary.mean result.Ensemble.chain_depth)
+               (100.0 *. Ensemble.termination_rate result));
+          B (Ensemble.agreement_rate result = 1.0);
+        ])
+    chain_ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E9: committee algorithm contrast.                                   *)
+
+let e9_committee ~scale =
+  let ns, trials =
+    match scale with
+    | `Full -> ([ 64; 128; 256; 512 ], 60)
+    | `Quick -> ([ 64; 128 ], 12)
+  in
+  let fractions = [ 0.0; 0.1; 0.2; 0.3 ] in
+  let table =
+    Stats.Table.create
+      ~title:"E9: committee algorithm — polylog rounds, non-zero error, adaptive attack"
+      ~columns:
+        [ "n"; "inputs"; "corrupt frac"; "adaptive"; "trials"; "mean rounds";
+          "mean levels"; "hijack rate"; "invalid rate" ]
+  in
+  let run_cell ~n ~inputs_kind ~fraction ~adaptive =
+    let rounds = ref Stats.Summary.empty and levels = ref Stats.Summary.empty in
+    let hijacks = ref 0 and invalids = ref 0 in
+    for trial = 1 to trials do
+      let seed = (n * 1000) + trial in
+      let rng = Prng.Stream.root seed in
+      let corrupt_count = int_of_float (fraction *. float_of_int n) in
+      let corrupt = Prng.Stream.sample_without_replacement rng corrupt_count n in
+      let inputs =
+        match inputs_kind with
+        | `Split -> Array.init n (fun i -> (i + trial) mod 2 = 0)
+        | `Unanimous -> Array.make n (trial mod 2 = 0)
+      in
+      let params =
+        { (Protocols.Committee.default_params ~n ~seed) with adaptive_attack = adaptive }
+      in
+      let report = Protocols.Committee.run params ~n ~corrupt ~inputs in
+      rounds := Stats.Summary.add_int !rounds report.Protocols.Committee.rounds;
+      levels := Stats.Summary.add_int !levels report.Protocols.Committee.levels;
+      if report.Protocols.Committee.hijacked then incr hijacks;
+      if not report.Protocols.Committee.valid then incr invalids
+    done;
+    Stats.Table.add_row table
+      [
+        I n;
+        S (match inputs_kind with `Split -> "split" | `Unanimous -> "unanimous");
+        Pct fraction; B adaptive; I trials;
+        F (Stats.Summary.mean !rounds);
+        F (Stats.Summary.mean !levels);
+        Pct (float_of_int !hijacks /. float_of_int trials);
+        Pct (float_of_int !invalids /. float_of_int trials);
+      ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun fraction -> run_cell ~n ~inputs_kind:`Split ~fraction ~adaptive:false)
+        fractions;
+      (* Unanimous inputs: a hijacked final committee now produces an
+         outright invalid decision, not merely a dictated one. *)
+      run_cell ~n ~inputs_kind:`Unanimous ~fraction:0.2 ~adaptive:false;
+      run_cell ~n ~inputs_kind:`Split ~fraction:0.1 ~adaptive:true;
+      run_cell ~n ~inputs_kind:`Unanimous ~fraction:0.1 ~adaptive:true)
+    ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E10: ablations — threshold choice and adversary strength.           *)
+
+let e10_ablations ~scale =
+  let seed_count = match scale with `Full -> 150 | `Quick -> 20 in
+  let table =
+    Stats.Table.create
+      ~title:"E10: ablations — thresholds (T2 = T1 vs relaxed) and adversary strength"
+      ~columns:
+        [ "ablation"; "n"; "t"; "setting"; "runs"; "agreement"; "termination";
+          "mean windows" ]
+  in
+  let run_cell ~ablation ~n ~t ~setting ~protocol ~strategy =
+    let spec =
+      {
+        Ensemble.n;
+        t;
+        inputs = Ensemble.split_inputs ~n;
+        max_windows = 100_000;
+        max_steps = 0;
+        stop = `All_decided;
+      }
+    in
+    let result = Ensemble.run_windowed ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) in
+    Stats.Table.add_row table
+      [
+        S ablation; I n; I t; S setting; I result.Ensemble.runs;
+        Pct (Ensemble.agreement_rate result);
+        Pct (Ensemble.termination_rate result);
+        F (Stats.Summary.mean result.Ensemble.windows);
+      ]
+  in
+  (* Threshold ablation: the paper notes that a smaller T2 (possible
+     when t is small) improves running time.  The relaxed triple also
+     lowers T3, which weakens the balancing adversary's grip. *)
+  List.iter
+    (fun (n, t) ->
+      run_cell ~ablation:"thresholds" ~n ~t ~setting:"default (T2 = T1 = n-2t)"
+        ~protocol:(Protocols.Lewko_variant.protocol ())
+        ~strategy:(fun _ -> Adversary.Split_vote.windowed ());
+      run_cell ~ablation:"thresholds" ~n ~t ~setting:"relaxed (T3 = n/2+1, T2 = T3+t)"
+        ~protocol:
+          (Protocols.Lewko_variant.protocol
+             ~thresholds:(Protocols.Thresholds.relaxed ~n ~t) ())
+        ~strategy:(fun _ -> Adversary.Split_vote.windowed ()))
+    (* Small t relative to n: that is where the relaxed triple actually
+       differs (at maximal t, n - 3t is already a bare majority). *)
+    [ (13, 1); (19, 2) ];
+  (* Adversary ablation: the exponential effect needs an adversary —
+     random silencing of t senders is *not* adversarial enough. *)
+  let random_silencing seed =
+    let rng = Prng.Stream.root seed in
+    fun config ->
+      let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+      let silenced = Prng.Stream.sample_without_replacement rng t n in
+      Some (Dsim.Window.uniform ~n ~silenced ())
+  in
+  List.iter
+    (fun (setting, strategy) ->
+      run_cell ~ablation:"adversary" ~n:13 ~t:2 ~setting
+        ~protocol:(Protocols.Lewko_variant.protocol ())
+        ~strategy)
+    [
+      ("benign", fun _ -> Adversary.Benign.windowed ());
+      ("random silencing", random_silencing);
+      ("balancing", fun _ -> Adversary.Split_vote.windowed ());
+      ("balancing + resets", fun _ -> Adversary.Split_vote.windowed_with_resets ());
+      ("lookahead (proof-style)",
+       fun seed -> Adversary.Lookahead.windowed ~samples:4 ~horizon:3 ~seed ());
+    ];
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E11: the synchronous coin-killing game (Bar-Joseph & Ben-Or [6]).   *)
+
+let e11_synchronous ~scale =
+  let ns, seed_count =
+    match scale with
+    | `Full -> ([ 32; 64; 128; 256 ], 150)
+    | `Quick -> ([ 32; 64 ], 25)
+  in
+  let table =
+    Stats.Table.create
+      ~title:
+        "E11: synchronous consensus vs adaptive crash adversary — rounds track t/sqrt(n log n) ([6])"
+      ~columns:
+        [ "n"; "t"; "adversary"; "runs"; "agreement"; "termination"; "mean rounds";
+          "mean crashes used"; "rounds / (t/sqrt(n ln n))" ]
+  in
+  let run_cell ~n ~t ~name ~adversary =
+    let rounds = ref Stats.Summary.empty and crashes = ref Stats.Summary.empty in
+    let agreements = ref 0 and terminations = ref 0 in
+    for seed = 1 to seed_count do
+      let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+      let outcome =
+        Syncsim.Sync_engine.run ~protocol:Syncsim.Sync_consensus.protocol ~n ~t ~inputs
+          ~seed ~adversary:(adversary ()) ~max_rounds:100_000
+      in
+      rounds := Stats.Summary.add_int !rounds outcome.Syncsim.Sync_engine.rounds;
+      crashes := Stats.Summary.add_int !crashes outcome.Syncsim.Sync_engine.crashes_used;
+      if not outcome.Syncsim.Sync_engine.conflict then incr agreements;
+      if outcome.Syncsim.Sync_engine.terminated then incr terminations
+    done;
+    let theory = float_of_int t /. sqrt (float_of_int n *. log (float_of_int n)) in
+    Stats.Table.add_row table
+      [
+        I n; I t; S name; I seed_count;
+        Pct (float_of_int !agreements /. float_of_int seed_count);
+        Pct (float_of_int !terminations /. float_of_int seed_count);
+        F (Stats.Summary.mean !rounds);
+        F (Stats.Summary.mean !crashes);
+        F (Stats.Summary.mean !rounds /. theory);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let t = n / 4 in
+      run_cell ~n ~t ~name:"none" ~adversary:(fun () -> Syncsim.Sync_engine.no_faults);
+      run_cell ~n ~t ~name:"crash-early" ~adversary:Syncsim.Sync_adversary.crash_early;
+      run_cell ~n ~t ~name:"coin-killing" ~adversary:Syncsim.Sync_adversary.balancing)
+    ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E12: shared-memory counter-race coin (Aspnes [3]; Attiya-Censor [5]) *)
+
+let e12_shared_memory ~scale =
+  let ns, seed_count =
+    match scale with
+    | `Full -> ([ 8; 16; 32; 64 ], 100)
+    | `Quick -> ([ 8; 16 ], 20)
+  in
+  let table =
+    Stats.Table.create
+      ~title:
+        "E12: shared-memory counter-race coin — total steps scale as n^2 ([3,5]), agreement despite scheduling"
+      ~columns:
+        [ "n"; "scheduler"; "runs"; "agreement"; "mean total steps"; "steps / n^2";
+          "mean |sum| peak" ]
+  in
+  let run_cell ~n ~name ~scheduler =
+    let steps = ref Stats.Summary.empty and peaks = ref Stats.Summary.empty in
+    let agreements = ref 0 in
+    for seed = 1 to seed_count do
+      let result =
+        Shmem.Shared_coin.run ~n ~threshold_factor:1.0 ~seed ~scheduler
+          ~max_steps:(3_000 * n * n) ()
+      in
+      steps := Stats.Summary.add_int !steps result.Shmem.Shared_coin.total_steps;
+      peaks := Stats.Summary.add_int !peaks result.Shmem.Shared_coin.max_abs_sum;
+      if result.Shmem.Shared_coin.agreed then incr agreements
+    done;
+    Stats.Table.add_row table
+      [
+        I n; S name; I seed_count;
+        Pct (float_of_int !agreements /. float_of_int seed_count);
+        F (Stats.Summary.mean !steps);
+        F (Stats.Summary.mean !steps /. float_of_int (n * n));
+        F (Stats.Summary.mean !peaks);
+      ]
+  in
+  List.iter
+    (fun n ->
+      run_cell ~n ~name:"round-robin" ~scheduler:Shmem.Shared_coin.Round_robin;
+      run_cell ~n ~name:"random" ~scheduler:(Shmem.Shared_coin.Random 7);
+      run_cell ~n ~name:"stalling" ~scheduler:Shmem.Shared_coin.Stalling)
+    ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E15: shared-memory consensus over the counter-race coin ([3,5]).    *)
+
+let e15_sm_consensus ~scale =
+  let ns, seed_count =
+    match scale with
+    | `Full -> ([ 8; 16; 32 ], 80)
+    | `Quick -> ([ 8; 16 ], 15)
+  in
+  let table =
+    Stats.Table.create
+      ~title:
+        "E15: wait-free shared-memory consensus (Aspnes-Herlihy rounds over the counter-race coin)"
+      ~columns:
+        [ "n"; "scheduler"; "runs"; "agreement"; "validity"; "termination";
+          "mean rounds"; "mean coin rounds"; "mean total steps"; "steps / n^2" ]
+  in
+  let run_cell ~n ~name ~scheduler =
+    let rounds = ref Stats.Summary.empty
+    and coins = ref Stats.Summary.empty
+    and steps = ref Stats.Summary.empty in
+    let agreements = ref 0 and validities = ref 0 and terminations = ref 0 in
+    for seed = 1 to seed_count do
+      let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+      let r =
+        Shmem.Sm_consensus.run ~n ~inputs ~seed ~scheduler
+          ~max_steps:(50_000 * n * n) ()
+      in
+      rounds := Stats.Summary.add_int !rounds r.Shmem.Sm_consensus.rounds;
+      coins := Stats.Summary.add_int !coins r.Shmem.Sm_consensus.coin_rounds;
+      steps := Stats.Summary.add_int !steps r.Shmem.Sm_consensus.total_steps;
+      if r.Shmem.Sm_consensus.agreed then incr agreements;
+      if r.Shmem.Sm_consensus.valid then incr validities;
+      if Array.for_all (fun o -> o <> None) r.Shmem.Sm_consensus.outputs then
+        incr terminations
+    done;
+    let frac k = float_of_int !k /. float_of_int seed_count in
+    Stats.Table.add_row table
+      [
+        I n; S name; I seed_count;
+        Pct (frac agreements); Pct (frac validities); Pct (frac terminations);
+        F (Stats.Summary.mean !rounds);
+        F (Stats.Summary.mean !coins);
+        F (Stats.Summary.mean !steps);
+        F (Stats.Summary.mean !steps /. float_of_int (n * n));
+      ]
+  in
+  List.iter
+    (fun n ->
+      run_cell ~n ~name:"round-robin" ~scheduler:Shmem.Shared_coin.Round_robin;
+      run_cell ~n ~name:"random" ~scheduler:(Shmem.Shared_coin.Random 5);
+      run_cell ~n ~name:"stalling" ~scheduler:Shmem.Shared_coin.Stalling)
+    ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E13: the Attiya-Censor termination tail ([4]).                      *)
+
+let e13_termination_tail ~scale =
+  let n, t, seed_count =
+    match scale with `Full -> (9, 4, 400) | `Quick -> (7, 3, 60)
+  in
+  (* Survival of the step count in units of (n - t), the scale at which
+     [4] lower-bounds the non-termination probability by 1/c^k. *)
+  let unit = n - t in
+  let histogram = Stats.Histogram.create ~bucket_width:unit () in
+  let survival_points = ref [] in
+  let steps_of seed =
+    let inputs = Ensemble.split_inputs ~n seed in
+    let config =
+      Dsim.Engine.init ~protocol:(Protocols.Ben_or.protocol ()) ~n ~fault_bound:t
+        ~inputs ~seed ()
+    in
+    let outcome =
+      Dsim.Runner.run_steps config
+        ~strategy:(Adversary.Split_vote.stepwise ())
+        ~max_steps:10_000_000 ~stop:`First_decision
+    in
+    outcome.Dsim.Runner.steps
+  in
+  List.iter
+    (fun seed -> Stats.Histogram.add histogram (steps_of seed))
+    (seeds_list seed_count);
+  let survival = Stats.Histogram.survival histogram in
+  let len = List.length survival in
+  let stride = max 1 (len / 18) in
+  List.iteri
+    (fun i (bucket, p) ->
+      if (i mod stride = 0 || i = len - 1) && p > 0.0 then
+        survival_points := (float_of_int (bucket / unit), p) :: !survival_points)
+    survival;
+  let fit =
+    match !survival_points with
+    | _ :: _ :: _ -> Some (Stats.Regression.log2_linear (List.rev !survival_points))
+    | _ -> None
+  in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E13: Attiya-Censor tail ([4]) — P[steps > k(n-t)] for Ben-Or under balancing, n = %d, t = %d%s"
+           n t
+           (match fit with
+           | Some f ->
+               Printf.sprintf " (log2 P ~ %.4f k, r^2 = %.3f => c ~ %.4f)"
+                 f.Stats.Regression.slope f.Stats.Regression.r_squared
+                 (2.0 ** -.f.Stats.Regression.slope)
+           | None -> ""))
+      ~columns:[ "k (steps / (n-t))"; "P[steps > k(n-t)]" ]
+  in
+  List.iteri
+    (fun i (bucket, p) ->
+      if i mod stride = 0 || i = len - 1 then
+        Stats.Table.add_row table [ I (bucket / unit); F p ])
+    survival;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E14: reset fragility of the baselines.                              *)
+
+let e14_reset_fragility ~scale =
+  let seed_count, max_windows =
+    match scale with `Full -> (80, 3_000) | `Quick -> (10, 600)
+  in
+  let table =
+    Stats.Table.create
+      ~title:
+        "E14: resets without a re-join procedure — the variant's recovery (Sec. 3, 'handling resets') is load-bearing"
+      ~columns:
+        [ "protocol"; "adversary"; "n"; "t"; "runs"; "agreement"; "termination";
+          "mean windows (terminated)"; "mean resets" ]
+  in
+  let cell name protocol ~strategy ~strategy_name =
+    let n = 13 and t = 2 in
+    let spec =
+      {
+        Ensemble.n;
+        t;
+        inputs = Ensemble.split_inputs ~n;
+        max_windows;
+        max_steps = 0;
+        stop = `All_decided;
+      }
+    in
+    let result = Ensemble.run_windowed ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) in
+    Stats.Table.add_row table
+      [
+        S name; S strategy_name; I n; I t; I result.Ensemble.runs;
+        Pct (Ensemble.agreement_rate result);
+        Pct (Ensemble.termination_rate result);
+        F (Stats.Summary.mean result.Ensemble.windows);
+        F (Stats.Summary.mean result.Ensemble.total_resets);
+      ]
+  in
+  (* A polymorphic factory so each protocol instantiates the strategy
+     at its own state/message types. *)
+  let make_strategy kind seed =
+    match kind with
+    | `Benign -> Adversary.Benign.windowed ()
+    | `Rotating -> Adversary.Reset_storm.rotating ()
+    | `Random -> Adversary.Reset_storm.random ~seed ()
+  in
+  List.iter
+    (fun (strategy_name, kind) ->
+      cell "lewko-variant"
+        (Protocols.Lewko_variant.protocol ())
+        ~strategy:(make_strategy kind) ~strategy_name;
+      cell "ben-or" (Protocols.Ben_or.protocol ()) ~strategy:(make_strategy kind)
+        ~strategy_name;
+      cell "bracha" (Protocols.Bracha.protocol ()) ~strategy:(make_strategy kind)
+        ~strategy_name)
+    [ ("benign", `Benign); ("reset-rotating", `Rotating); ("reset-random", `Random) ];
+  table
+
+(* ------------------------------------------------------------------ *)
+
+let e2_with_fit ~scale =
+  let e2_table, e2_fit = e2_exponential_variant ~scale in
+  let fit_note =
+    Stats.Table.create ~title:"E2 (fit): log2(mean windows) vs n"
+      ~columns:[ "slope (bits/processor)"; "intercept"; "r^2" ]
+  in
+  Stats.Table.add_row fit_note
+    [
+      F e2_fit.Stats.Regression.slope;
+      F e2_fit.Stats.Regression.intercept;
+      F e2_fit.Stats.Regression.r_squared;
+    ];
+  (e2_table, fit_note)
+
+let generators : (string * (scale:scale -> Stats.Table.t)) list =
+  [
+    ("E1", e1_theorem4_matrix);
+    ("E2", fun ~scale -> fst (e2_with_fit ~scale));
+    ("E2-fit", fun ~scale -> snd (e2_with_fit ~scale));
+    ("E2-survival", e2_survival);
+    ("E3", e3_baselines);
+    ("E4", e4_talagrand);
+    ("E5", e5_interpolation);
+    ("E5b", e5b_zk_sets);
+    ("E6", e6_theory_constants);
+    ("E7", e7_reset_resilience);
+    ("E8", e8_forgetful_class);
+    ("E9", e9_committee);
+    ("E10", e10_ablations);
+    ("E11", e11_synchronous);
+    ("E12", e12_shared_memory);
+    ("E13", e13_termination_tail);
+    ("E14", e14_reset_fragility);
+    ("E15", e15_sm_consensus);
+  ]
+
+let selected ~scale ~ids =
+  (* E2 and E2-fit come from the same sweep; compute it once when both
+     are requested. *)
+  let wanted id = ids = [] || List.mem id ids in
+  let e2_pair = lazy (e2_with_fit ~scale) in
+  List.filter_map
+    (fun (id, generate) ->
+      if not (wanted id) then None
+      else
+        match id with
+        | "E2" -> Some (id, fst (Lazy.force e2_pair))
+        | "E2-fit" -> Some (id, snd (Lazy.force e2_pair))
+        | _ -> Some (id, generate ~scale))
+    generators
+
+let all ~scale = selected ~scale ~ids:[]
+
+let experiment_ids = List.map fst generators
+
+let render_markdown tables =
+  tables
+  |> List.map (fun (id, table) ->
+         Printf.sprintf "### %s\n\n```\n%s```\n" id (Stats.Table.to_string table))
+  |> String.concat "\n"

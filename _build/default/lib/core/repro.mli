@@ -1,0 +1,95 @@
+(** The per-claim reproduction harness: one generator per experiment in
+    DESIGN.md's matrix (E1-E9).  Each generator returns a printable
+    table; [all] runs the whole battery.
+
+    [scale] trades fidelity for time: [`Full] is what EXPERIMENTS.md
+    records; [`Quick] shrinks seed counts and sweeps for tests and for
+    the bench harness warm-up. *)
+
+type scale = [ `Quick | `Full ]
+
+val e1_theorem4_matrix : scale:scale -> Stats.Table.t
+(** Theorem 4: correctness / termination of the variant algorithm
+    against the strongly adaptive adversary portfolio. *)
+
+val e2_exponential_variant : scale:scale -> Stats.Table.t * Stats.Regression.fit
+(** Section 3 remark: windows-to-decision vs [n] under the balancing
+    adversary, with the fitted exponent of [log2 E\[windows\]] vs [n]
+    and the analytic per-window escape probability for comparison. *)
+
+val e2_survival : scale:scale -> Stats.Table.t
+(** Survival series [P(windows > k)] for one configuration of E2. *)
+
+val e3_baselines : scale:scale -> Stats.Table.t
+(** Ben-Or (crash) and Bracha (Byzantine thresholds) under balancing
+    schedules: steps and message-chain length vs [n]. *)
+
+val e4_talagrand : scale:scale -> Stats.Table.t
+(** Lemma 9 numerics across product spaces, set shapes and distances. *)
+
+val e5_interpolation : scale:scale -> Stats.Table.t
+(** Lemma 14's hybrid sweep: the crossing index and both masses. *)
+
+val e5b_zk_sets : scale:scale -> Stats.Table.t
+(** Z^k set probes on real configurations: Z^0 separation (Lemma 11)
+    and Z^1 membership of unanimous vs split initial configurations. *)
+
+val e6_theory_constants : scale:scale -> Stats.Table.t
+(** Theorem 5 constants: [E(n)] and the success-probability bound. *)
+
+val e7_reset_resilience : scale:scale -> Stats.Table.t
+(** Total resets absorbed vs the per-window budget [t] (Theorem 4's
+    failure model). *)
+
+val e8_forgetful_class : scale:scale -> Stats.Table.t
+(** Definitions 15/16 classification of all protocols plus the
+    chain-length growth of Ben-Or under crash balancing (Theorem 17's
+    setting). *)
+
+val e9_committee : scale:scale -> Stats.Table.t
+(** Kapron-et-al. contrast: rounds vs [n] (polylog), error probability
+    vs corruption, and the adaptive final-committee attack. *)
+
+val e10_ablations : scale:scale -> Stats.Table.t
+(** Design-choice ablations DESIGN.md calls out: the Theorem 4
+    threshold instantiation (default vs relaxed) and adversary strength
+    (the exponential slowdown requires a genuinely adversarial
+    schedule). *)
+
+val e11_synchronous : scale:scale -> Stats.Table.t
+(** Related-work reproduction [6] (Bar-Joseph & Ben-Or): the
+    synchronous coin-killing game — rounds survived by an adaptive
+    full-information crash adversary track [t / sqrt(n log n)]. *)
+
+val e12_shared_memory : scale:scale -> Stats.Table.t
+(** Related-work reproduction [3,5] (Aspnes; Attiya & Censor): the
+    counter-race shared coin's total step complexity scales as [n^2]
+    and its agreement survives adversarial scheduling. *)
+
+val e13_termination_tail : scale:scale -> Stats.Table.t
+(** Related-work reproduction [4] (Attiya & Censor): the probability
+    that Ben-Or has not terminated after [k (n - t)] steps under the
+    balancing schedule decays geometrically in [k] — their lower bound
+    says it cannot decay faster than [1/c^k]. *)
+
+val e14_reset_fragility : scale:scale -> Stats.Table.t
+(** Why the variant's reset-recovery procedure exists: under reset
+    storms, Ben-Or and Bracha (which can only restart from their
+    inputs) degrade or stall, while the variant terminates correctly. *)
+
+val e15_sm_consensus : scale:scale -> Stats.Table.t
+(** Related-work reproduction [3, 5] continued: wait-free randomized
+    consensus (Aspnes-Herlihy rounds over the counter-race coin) —
+    constant expected rounds and [Theta(n^2)]-dominated total work,
+    with agreement and validity intact under adversarial scheduling. *)
+
+val all : scale:scale -> (string * Stats.Table.t) list
+(** Every experiment, in order, with its DESIGN.md identifier. *)
+
+val selected : scale:scale -> ids:string list -> (string * Stats.Table.t) list
+(** Only the requested experiment ids (all of them when [ids] is
+    empty); unrequested experiments are not computed. *)
+
+val experiment_ids : string list
+
+val render_markdown : (string * Stats.Table.t) list -> string

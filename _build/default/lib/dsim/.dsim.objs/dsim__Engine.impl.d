@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Array Envelope Format List Mailbox Printf Prng Protocol Step String Trace Window

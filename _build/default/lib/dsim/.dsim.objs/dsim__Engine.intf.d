@@ -1,0 +1,1 @@
+lib/dsim/engine.mli: Mailbox Obs Prng Protocol Step Trace Window

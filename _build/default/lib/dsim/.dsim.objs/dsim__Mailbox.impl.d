@@ -1,0 +1,1 @@
+lib/dsim/mailbox.ml: Envelope Int List Map

@@ -1,0 +1,1 @@
+lib/dsim/obs.ml: Format Option

@@ -1,0 +1,1 @@
+lib/dsim/protocol.ml: Format Obs Prng

@@ -1,0 +1,1 @@
+lib/dsim/protocol.mli: Format Obs Prng

@@ -1,0 +1,1 @@
+lib/dsim/runner.ml: Engine Format List Trace Window

@@ -1,0 +1,1 @@
+lib/dsim/runner.mli: Engine Format Step Window

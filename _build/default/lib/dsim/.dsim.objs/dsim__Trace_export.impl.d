@@ -1,0 +1,1 @@
+lib/dsim/trace_export.ml: Buffer List Printf String Trace

@@ -1,0 +1,1 @@
+lib/dsim/window.ml: Array Format List Printf

@@ -1,0 +1,254 @@
+type ('s, 'm) t = {
+  protocol : ('s, 'm) Protocol.t;
+  n : int;
+  fault_bound : int;
+  inputs : bool array;
+  states : 's array;
+  mailbox : 'm Mailbox.t;
+  crashed : bool array;
+  reset_counts : int array;
+  receive_depths : int array;
+  rngs : Prng.Stream.t array;
+  recent_deliveries : string list array;
+      (* per processor, reverse-chronological "src:payload" strings for
+         messages delivered since its last message-emitting send — the
+         conditioning data of Definition 15 (forgetfulness) *)
+  mutable next_msg_id : int;
+  mutable step_index : int;
+  mutable window_index : int;
+  trace : Trace.t;
+}
+
+let init ~protocol ~n ~fault_bound ~inputs ~seed ?(record_events = false) () =
+  if Array.length inputs <> n then invalid_arg "Engine.init: |inputs| <> n";
+  if n <= 0 then invalid_arg "Engine.init: n must be positive";
+  if fault_bound < 0 || fault_bound >= n then
+    invalid_arg "Engine.init: fault bound out of range";
+  let root = Prng.Stream.root seed in
+  let rngs = Array.init n (fun i -> Prng.Stream.derive root i) in
+  let states =
+    Array.init n (fun i -> protocol.Protocol.init ~n ~t:fault_bound ~id:i ~input:inputs.(i))
+  in
+  {
+    protocol;
+    n;
+    fault_bound;
+    inputs = Array.copy inputs;
+    states;
+    mailbox = Mailbox.create ();
+    crashed = Array.make n false;
+    reset_counts = Array.make n 0;
+    receive_depths = Array.make n 0;
+    rngs;
+    recent_deliveries = Array.make n [];
+    next_msg_id = 0;
+    step_index = 0;
+    window_index = 0;
+    trace = Trace.create ~record_events;
+  }
+
+let copy t =
+  {
+    t with
+    inputs = Array.copy t.inputs;
+    states = Array.copy t.states;
+    mailbox = Mailbox.copy t.mailbox;
+    crashed = Array.copy t.crashed;
+    reset_counts = Array.copy t.reset_counts;
+    receive_depths = Array.copy t.receive_depths;
+    rngs = Array.map Prng.Stream.copy t.rngs;
+    recent_deliveries = Array.copy t.recent_deliveries;
+    trace = Trace.copy t.trace;
+  }
+
+let reseed t stream =
+  Array.iteri (fun i _ -> t.rngs.(i) <- Prng.Stream.derive stream i) t.rngs
+
+let n t = t.n
+let fault_bound t = t.fault_bound
+let protocol t = t.protocol
+let state t p = t.states.(p)
+let observe t p = t.protocol.Protocol.observe t.states.(p)
+let observations t = Array.init t.n (observe t)
+let output t p = t.protocol.Protocol.output t.states.(p)
+let crashed t p = t.crashed.(p)
+
+let crashed_count t =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.crashed
+
+let reset_count t p = t.reset_counts.(p)
+let inputs t = t.inputs
+let mailbox t = t.mailbox
+let step_index t = t.step_index
+let window_index t = t.window_index
+let trace t = t.trace
+let receive_depth t p = t.receive_depths.(p)
+let recent_deliveries t p = t.recent_deliveries.(p)
+let max_chain_depth t = Array.fold_left max 0 t.receive_depths
+
+let decided_values t =
+  let rec collect p acc =
+    if p < 0 then acc
+    else
+      match output t p with
+      | Some v -> collect (p - 1) ((p, v) :: acc)
+      | None -> collect (p - 1) acc
+  in
+  collect (t.n - 1) []
+
+let all_decided t =
+  let alive_undecided p = (not t.crashed.(p)) && output t p = None in
+  not (Array.exists alive_undecided (Array.init t.n (fun i -> i)))
+
+let some_decided t = decided_values t <> []
+
+let decision_conflict t =
+  let values = List.map snd (decided_values t) in
+  List.mem true values && List.mem false values
+
+let state_cores t = Array.map t.protocol.Protocol.state_core t.states
+
+let fingerprint t = String.concat "|" (Array.to_list (state_cores t))
+
+(* Record a decision event when a state transition wrote the output bit. *)
+let note_decision t p before_output =
+  match (before_output, output t p) with
+  | None, Some value ->
+      Trace.record t.trace
+        (Trace.Decided
+           {
+             pid = p;
+             value;
+             step = t.step_index;
+             window = t.window_index;
+             chain_depth = t.receive_depths.(p);
+           })
+  | _, _ -> ()
+
+let do_send t p =
+  if not t.crashed.(p) then begin
+    let state, messages = t.protocol.Protocol.outgoing t.states.(p) in
+    t.states.(p) <- state;
+    (* A sending step that actually emits messages is a "sending event"
+       in the sense of Definition 15: it completes the response to the
+       deliveries accumulated so far. *)
+    if messages <> [] then t.recent_deliveries.(p) <- [];
+    List.iter
+      (fun (dst, payload) ->
+        if dst < 0 || dst >= t.n then invalid_arg "Engine: protocol sent out of range";
+        let id = t.next_msg_id in
+        t.next_msg_id <- id + 1;
+        let depth = t.receive_depths.(p) + 1 in
+        Mailbox.add t.mailbox
+          {
+            Envelope.id;
+            src = p;
+            dst;
+            payload;
+            depth;
+            sent_at_step = t.step_index;
+            sent_in_window = t.window_index;
+          };
+        Trace.record t.trace (Trace.Sent { src = p; dst; msg_id = id; depth }))
+      messages
+  end
+
+let do_deliver t id =
+  match Mailbox.take t.mailbox id with
+  | None -> invalid_arg (Printf.sprintf "Engine: deliver of unknown message #%d" id)
+  | Some envelope ->
+      let dst = envelope.Envelope.dst in
+      if t.crashed.(dst) then
+        Trace.record t.trace (Trace.Dropped { msg_id = id })
+      else begin
+        let before = output t dst in
+        t.states.(dst) <-
+          t.protocol.Protocol.on_deliver t.states.(dst) ~src:envelope.Envelope.src
+            envelope.Envelope.payload t.rngs.(dst);
+        t.receive_depths.(dst) <- max t.receive_depths.(dst) envelope.Envelope.depth;
+        t.recent_deliveries.(dst) <-
+          Format.asprintf "%d:%a" envelope.Envelope.src
+            t.protocol.Protocol.pp_message envelope.Envelope.payload
+          :: t.recent_deliveries.(dst);
+        Trace.record t.trace
+          (Trace.Delivered
+             {
+               src = envelope.Envelope.src;
+               dst;
+               msg_id = id;
+               depth = envelope.Envelope.depth;
+             });
+        note_decision t dst before
+      end
+
+let do_reset t p =
+  if not t.crashed.(p) then begin
+    t.states.(p) <- t.protocol.Protocol.on_reset t.states.(p);
+    t.reset_counts.(p) <- t.reset_counts.(p) + 1;
+    t.recent_deliveries.(p) <- [];
+    Trace.record t.trace (Trace.Reset_done { pid = p })
+  end
+
+let do_crash t p =
+  if not t.crashed.(p) then begin
+    t.crashed.(p) <- true;
+    Trace.record t.trace (Trace.Crashed { pid = p })
+  end
+
+let apply t step =
+  t.step_index <- t.step_index + 1;
+  match step with
+  | Step.Send p -> do_send t p
+  | Step.Deliver id -> do_deliver t id
+  | Step.Drop id -> (
+      match Mailbox.take t.mailbox id with
+      | None -> invalid_arg (Printf.sprintf "Engine: drop of unknown message #%d" id)
+      | Some _ -> Trace.record t.trace (Trace.Dropped { msg_id = id }))
+  | Step.Reset p -> do_reset t p
+  | Step.Crash p -> do_crash t p
+  | Step.Corrupt (id, payload) ->
+      if not (Mailbox.replace_payload t.mailbox id payload) then
+        invalid_arg (Printf.sprintf "Engine: corrupt of unknown message #%d" id)
+
+let apply_window t ?(drop_undelivered = true) window =
+  let fresh_from = t.next_msg_id in
+  (* Phase 1: all processors take sending steps. *)
+  for p = 0 to t.n - 1 do
+    apply t (Step.Send p)
+  done;
+  let fresh_to = t.next_msg_id in
+  let is_fresh e = e.Envelope.id >= fresh_from && e.Envelope.id < fresh_to in
+  (* Phase 2: each processor i receives the just-sent messages from S_i,
+     in ascending (sender, id) order — "some fixed order".  Receive-set
+     membership is precomputed so the window costs O(n^2), not O(n^4). *)
+  let allowed =
+    Array.init t.n (fun dst ->
+        let flags = Array.make t.n false in
+        List.iter
+          (fun s -> if s >= 0 && s < t.n then flags.(s) <- true)
+          (Window.receive_set window dst);
+        flags)
+  in
+  let per_dst = Array.make t.n [] in
+  List.iter
+    (fun e -> if is_fresh e then per_dst.(e.Envelope.dst) <- e :: per_dst.(e.Envelope.dst))
+    (Mailbox.pending t.mailbox);
+  for dst = 0 to t.n - 1 do
+    List.iter
+      (fun e -> if allowed.(dst).(e.Envelope.src) then apply t (Step.Deliver e.Envelope.id))
+      (List.rev per_dst.(dst))
+  done;
+  (* Undelivered fresh messages can never legally be delivered by a
+     later window, so clear them out. *)
+  if drop_undelivered then begin
+    let stale = Mailbox.filter_ids t.mailbox is_fresh in
+    List.iter (fun id -> apply t (Step.Drop id)) stale
+  end;
+  (* Phase 3: at most t resetting steps. *)
+  List.iter (fun p -> apply t (Step.Reset p)) window.Window.resets;
+  t.window_index <- t.window_index + 1;
+  Trace.record t.trace (Trace.Window_closed { index = t.window_index })
+
+let deliver_all_pending t ~dst =
+  let ids = Mailbox.filter_ids t.mailbox (fun e -> e.Envelope.dst = dst) in
+  List.iter (fun id -> apply t (Step.Deliver id)) ids

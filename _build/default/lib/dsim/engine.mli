@@ -1,0 +1,106 @@
+(** The execution engine: configurations and step application.
+
+    A configuration (Section 2) is the n-tuple of processor states plus
+    the message buffer; the engine additionally tracks crash flags,
+    reset counters, causal depths and the trace.  All mutation goes
+    through {!apply} or {!apply_window}, so every execution is a
+    deterministic function of (protocol, inputs, seed, adversary
+    choices).
+
+    Configurations are copyable ({!copy}); lookahead adversaries fork
+    speculative executions and may re-randomize the fork ({!reseed}) to
+    model their ignorance of coins not yet flipped. *)
+
+type ('s, 'm) t
+
+val init :
+  protocol:('s, 'm) Protocol.t ->
+  n:int ->
+  fault_bound:int ->
+  inputs:bool array ->
+  seed:int ->
+  ?record_events:bool ->
+  unit ->
+  ('s, 'm) t
+(** Fresh configuration; every processor's outbox holds its initial
+    messages (not yet sent: the first [Send] steps flush them). *)
+
+val copy : ('s, 'm) t -> ('s, 'm) t
+(** Deep copy: future steps on the copy do not affect the original.
+    The copy replays the same coins unless {!reseed} is called. *)
+
+val reseed : ('s, 'm) t -> Prng.Stream.t -> unit
+(** Re-derive every processor's randomness stream from the given
+    stream, so a forked configuration flips fresh coins. *)
+
+(* {2 Accessors (the adversary's full-information view)} *)
+
+val n : ('s, 'm) t -> int
+val fault_bound : ('s, 'm) t -> int
+val protocol : ('s, 'm) t -> ('s, 'm) Protocol.t
+val state : ('s, 'm) t -> int -> 's
+val observe : ('s, 'm) t -> int -> Obs.t
+val observations : ('s, 'm) t -> Obs.t array
+val output : ('s, 'm) t -> int -> bool option
+val crashed : ('s, 'm) t -> int -> bool
+val crashed_count : ('s, 'm) t -> int
+val reset_count : ('s, 'm) t -> int -> int
+val inputs : ('s, 'm) t -> bool array
+val mailbox : ('s, 'm) t -> 'm Mailbox.t
+val step_index : ('s, 'm) t -> int
+val window_index : ('s, 'm) t -> int
+val trace : ('s, 'm) t -> Trace.t
+val receive_depth : ('s, 'm) t -> int -> int
+(** Maximum causal depth among messages this processor has received. *)
+
+val recent_deliveries : ('s, 'm) t -> int -> string list
+(** Canonical "src:payload" strings of the messages delivered to this
+    processor since its last message-emitting sending step (cleared by
+    resets), most recent first.  This is exactly the data a forgetful
+    algorithm (Definition 15) may condition its next messages on; the
+    classifier keys on it. *)
+
+val max_chain_depth : ('s, 'm) t -> int
+
+val decided_values : ('s, 'm) t -> (int * bool) list
+(** All processors with a written output bit. *)
+
+val all_decided : ('s, 'm) t -> bool
+(** Every non-crashed processor has decided. *)
+
+val some_decided : ('s, 'm) t -> bool
+
+val decision_conflict : ('s, 'm) t -> bool
+(** Both a 0-output and a 1-output exist — a correctness violation. *)
+
+val fingerprint : ('s, 'm) t -> string
+(** Canonical digest of the per-processor states (via
+    [Protocol.state_core]); two configurations with equal fingerprints
+    agree on all decision-relevant processor memory.  Used by the
+    Hamming-distance machinery of the lower bound. *)
+
+val state_cores : ('s, 'm) t -> string array
+(** Per-processor canonical cores (coordinate projection of
+    {!fingerprint}); Hamming distance between configurations is
+    computed coordinate-wise on these. *)
+
+(* {2 Step application} *)
+
+val apply : ('s, 'm) t -> 'm Step.t -> unit
+(** Apply one step.  Steps addressing crashed processors are silent
+    no-ops for [Send]/[Reset]; a [Deliver] to a crashed processor drops
+    the message.  [Deliver]/[Drop]/[Corrupt] of an unknown message id
+    raise [Invalid_argument] (the adversary is a deterministic function
+    of the visible configuration, so this is a strategy bug). *)
+
+val apply_window : ('s, 'm) t -> ?drop_undelivered:bool -> Window.t -> unit
+(** Apply one acceptable window (Definition 1): sending steps for all
+    non-crashed processors, then for each [i] deliver the just-sent
+    messages from senders in [S_i] (ascending sender order), then the
+    resetting steps.  When [drop_undelivered] (default [true]), fresh
+    messages outside every receive set are dropped at window end —
+    windows only ever deliver "just sent" messages, so stale messages
+    can never be delivered later anyway. *)
+
+val deliver_all_pending : ('s, 'm) t -> dst:int -> unit
+(** Deliver every pending message addressed to [dst], ascending id. *)

@@ -1,0 +1,13 @@
+type 'm t = {
+  id : int;
+  src : int;
+  dst : int;
+  payload : 'm;
+  depth : int;
+  sent_at_step : int;
+  sent_in_window : int;
+}
+
+let pp pp_payload ppf e =
+  Format.fprintf ppf "#%d %d->%d depth=%d {%a}" e.id e.src e.dst e.depth pp_payload
+    e.payload

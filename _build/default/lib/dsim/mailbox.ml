@@ -1,0 +1,41 @@
+module Int_map = Map.Make (Int)
+
+type 'm t = { mutable by_id : 'm Envelope.t Int_map.t }
+
+let create () = { by_id = Int_map.empty }
+
+let copy t = { by_id = t.by_id }
+
+let add t envelope =
+  if Int_map.mem envelope.Envelope.id t.by_id then
+    invalid_arg "Mailbox.add: duplicate message id";
+  t.by_id <- Int_map.add envelope.Envelope.id envelope t.by_id
+
+let take t id =
+  match Int_map.find_opt id t.by_id with
+  | None -> None
+  | Some envelope ->
+      t.by_id <- Int_map.remove id t.by_id;
+      Some envelope
+
+let find t id = Int_map.find_opt id t.by_id
+
+let replace_payload t id payload =
+  match Int_map.find_opt id t.by_id with
+  | None -> false
+  | Some envelope ->
+      t.by_id <- Int_map.add id { envelope with Envelope.payload } t.by_id;
+      true
+
+let size t = Int_map.cardinal t.by_id
+let is_empty t = Int_map.is_empty t.by_id
+
+let pending t = List.map snd (Int_map.bindings t.by_id)
+
+let pending_for t ~dst = List.filter (fun e -> e.Envelope.dst = dst) (pending t)
+let pending_from t ~src = List.filter (fun e -> e.Envelope.src = src) (pending t)
+let pending_ids t = List.map fst (Int_map.bindings t.by_id)
+
+let filter_ids t f =
+  Int_map.fold (fun id e acc -> if f e then id :: acc else acc) t.by_id []
+  |> List.rev

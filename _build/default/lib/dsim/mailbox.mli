@@ -1,0 +1,35 @@
+(** The message buffer of the asynchronous system.
+
+    Sent messages sit here until the adversary schedules their delivery
+    (or drops them, when it is entitled to).  Iteration order is always
+    ascending message id, so executions are fully deterministic. *)
+
+type 'm t
+
+val create : unit -> 'm t
+val copy : 'm t -> 'm t
+
+val add : 'm t -> 'm Envelope.t -> unit
+(** Ids must be unique; violating this raises [Invalid_argument]. *)
+
+val take : 'm t -> int -> 'm Envelope.t option
+(** Remove and return the envelope with the given id. *)
+
+val find : 'm t -> int -> 'm Envelope.t option
+
+val replace_payload : 'm t -> int -> 'm -> bool
+(** Byzantine corruption hook: rewrite a pending message in place.
+    Returns [false] when no such message is pending. *)
+
+val size : 'm t -> int
+val is_empty : 'm t -> bool
+
+val pending : 'm t -> 'm Envelope.t list
+(** All pending envelopes, ascending id. *)
+
+val pending_for : 'm t -> dst:int -> 'm Envelope.t list
+val pending_from : 'm t -> src:int -> 'm Envelope.t list
+val pending_ids : 'm t -> int list
+
+val filter_ids : 'm t -> ('m Envelope.t -> bool) -> int list
+(** Ids of pending envelopes satisfying the predicate, ascending. *)

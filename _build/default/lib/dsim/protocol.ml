@@ -1,0 +1,38 @@
+type props = {
+  forgetful : bool;
+  fully_communicative : bool;
+  crash_resilience : int -> int;
+  byzantine_resilience : int -> int;
+  reset_resilience : int -> int;
+}
+
+type ('s, 'm) t = {
+  name : string;
+  init : n:int -> t:int -> id:int -> input:bool -> 's;
+  outgoing : 's -> 's * (int * 'm) list;
+  on_deliver : 's -> src:int -> 'm -> Prng.Stream.t -> 's;
+  on_reset : 's -> 's;
+  output : 's -> bool option;
+  observe : 's -> Obs.t;
+  message_bit : 'm -> bool option;
+  message_round : 'm -> int option;
+  message_origin : 'm -> int option;
+  rewrite_bit : 'm -> bool -> 'm option;
+  state_core : 's -> string;
+  props : props;
+  pp_message : Format.formatter -> 'm -> unit;
+  pp_state : Format.formatter -> 's -> unit;
+}
+
+let default_props =
+  {
+    forgetful = false;
+    fully_communicative = false;
+    crash_resilience = (fun _ -> 0);
+    byzantine_resilience = (fun _ -> 0);
+    reset_resilience = (fun _ -> 0);
+  }
+
+let observe_default ~id ?(round = 1) ?(estimate = None) ?(output = None)
+    ?(input = false) ?(resets = 0) ?(phase = 0) () =
+  Obs.make ~id ~round ~estimate ~output ~input ~resets ~phase

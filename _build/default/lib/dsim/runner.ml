@@ -1,0 +1,85 @@
+type stop_condition = [ `First_decision | `All_decided | `Never ]
+
+type halt_reason =
+  | Stopped
+  | Adversary_halted
+  | Budget_exhausted
+  | Invalid_window of string
+
+type outcome = {
+  reason : halt_reason;
+  steps : int;
+  windows : int;
+  decided : (int * bool) list;
+  first_decision : (int * bool * int * int * int) option;
+  conflict : bool;
+  total_resets : int;
+  total_crashes : int;
+  messages_sent : int;
+  messages_delivered : int;
+  max_chain_depth : int;
+}
+
+let outcome_of_config config ~reason =
+  let trace = Engine.trace config in
+  {
+    reason;
+    steps = Engine.step_index config;
+    windows = Engine.window_index config;
+    decided = Engine.decided_values config;
+    first_decision = Trace.first_decision trace;
+    conflict = Engine.decision_conflict config;
+    total_resets = Trace.resets trace;
+    total_crashes = Trace.crashes trace;
+    messages_sent = Trace.sent trace;
+    messages_delivered = Trace.delivered trace;
+    max_chain_depth = Engine.max_chain_depth config;
+  }
+
+let stop_satisfied config = function
+  | `First_decision -> Engine.some_decided config
+  | `All_decided -> Engine.all_decided config
+  | `Never -> false
+
+let run_windows config ~strategy ~max_windows ~stop =
+  let n = Engine.n config and t = Engine.fault_bound config in
+  let rec loop remaining =
+    if stop_satisfied config stop then outcome_of_config config ~reason:Stopped
+    else if remaining <= 0 then outcome_of_config config ~reason:Budget_exhausted
+    else
+      match strategy config with
+      | None -> outcome_of_config config ~reason:Adversary_halted
+      | Some window -> (
+          match Window.validate ~n ~t window with
+          | Error message -> outcome_of_config config ~reason:(Invalid_window message)
+          | Ok () ->
+              Engine.apply_window config window;
+              loop (remaining - 1))
+  in
+  loop max_windows
+
+let run_steps config ~strategy ~max_steps ~stop =
+  let rec loop remaining =
+    if stop_satisfied config stop then outcome_of_config config ~reason:Stopped
+    else if remaining <= 0 then outcome_of_config config ~reason:Budget_exhausted
+    else
+      match strategy config with
+      | None -> outcome_of_config config ~reason:Adversary_halted
+      | Some step ->
+          Engine.apply config step;
+          loop (remaining - 1)
+  in
+  loop max_steps
+
+let pp_reason ppf = function
+  | Stopped -> Format.pp_print_string ppf "stopped"
+  | Adversary_halted -> Format.pp_print_string ppf "adversary-halted"
+  | Budget_exhausted -> Format.pp_print_string ppf "budget-exhausted"
+  | Invalid_window m -> Format.fprintf ppf "invalid-window(%s)" m
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>reason=%a steps=%d windows=%d decided=%d conflict=%b resets=%d sent=%d \
+     delivered=%d chain=%d@]"
+    pp_reason o.reason o.steps o.windows (List.length o.decided) o.conflict
+    o.total_resets o.messages_sent o.messages_delivered o.max_chain_depth

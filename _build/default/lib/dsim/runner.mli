@@ -1,0 +1,58 @@
+(** Execution loops: drive a configuration with an adversary until a
+    stopping condition.
+
+    Two disciplines, matching the paper's two settings:
+    - {!run_windows}: the strongly adaptive model, where the adversary
+      supplies one acceptable window at a time (Definition 1);
+    - {!run_steps}: the classical free-running asynchronous model used
+      for the crash and Byzantine baselines, where the adversary
+      supplies one fine-grained step at a time. *)
+
+type stop_condition =
+  [ `First_decision  (** Stop when any processor writes its output. *)
+  | `All_decided  (** Stop when every live processor has decided. *)
+  | `Never  (** Run until the adversary halts or the budget runs out. *) ]
+
+type halt_reason =
+  | Stopped  (** The stop condition fired. *)
+  | Adversary_halted  (** The strategy returned [None]. *)
+  | Budget_exhausted  (** [max_windows] / [max_steps] reached. *)
+  | Invalid_window of string  (** The strategy broke Definition 1. *)
+
+type outcome = {
+  reason : halt_reason;
+  steps : int;
+  windows : int;
+  decided : (int * bool) list;  (** All written outputs at halt. *)
+  first_decision : (int * bool * int * int * int) option;
+      (** [(pid, value, step, window, chain_depth)]. *)
+  conflict : bool;  (** Two opposite outputs exist: correctness broken. *)
+  total_resets : int;
+  total_crashes : int;
+  messages_sent : int;
+  messages_delivered : int;
+  max_chain_depth : int;
+}
+
+val run_windows :
+  ('s, 'm) Engine.t ->
+  strategy:(('s, 'm) Engine.t -> Window.t option) ->
+  max_windows:int ->
+  stop:stop_condition ->
+  outcome
+(** Repeatedly asks the strategy for the next acceptable window and
+    applies it.  Every window is validated against Definition 1; an
+    invalid window aborts the run with [Invalid_window]. *)
+
+val run_steps :
+  ('s, 'm) Engine.t ->
+  strategy:(('s, 'm) Engine.t -> 'm Step.t option) ->
+  max_steps:int ->
+  stop:stop_condition ->
+  outcome
+(** Free-running variant for the crash / Byzantine models. *)
+
+val outcome_of_config : ('s, 'm) Engine.t -> reason:halt_reason -> outcome
+(** Snapshot an outcome from the current configuration. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,15 @@
+type 'm t =
+  | Send of int
+  | Deliver of int
+  | Drop of int
+  | Reset of int
+  | Crash of int
+  | Corrupt of int * 'm
+
+let pp pp_payload ppf = function
+  | Send p -> Format.fprintf ppf "send(p%d)" p
+  | Deliver id -> Format.fprintf ppf "deliver(#%d)" id
+  | Drop id -> Format.fprintf ppf "drop(#%d)" id
+  | Reset p -> Format.fprintf ppf "reset(p%d)" p
+  | Crash p -> Format.fprintf ppf "crash(p%d)" p
+  | Corrupt (id, m) -> Format.fprintf ppf "corrupt(#%d, %a)" id pp_payload m

@@ -1,0 +1,23 @@
+(** The fine-grained steps of Section 2's execution model.
+
+    An execution is a sequence of these, chosen by the adversary.  The
+    three step kinds of the strongly adaptive model (sending, receiving,
+    resetting) are joined by the crash and corruption steps needed for
+    the classical models of Section 5 and the Byzantine baseline. *)
+
+type 'm t =
+  | Send of int
+      (** Processor places its complete outgoing response in the buffer.
+          A second consecutive [Send] with no intervening delivery or
+          reset is a no-op, as the model requires. *)
+  | Deliver of int  (** Deliver the buffered message with this id. *)
+  | Drop of int
+      (** Remove a buffered message without delivering it.  Legal for
+          the resetting adversary (messages of reset processors) and for
+          the crash adversary (messages to crashed processors). *)
+  | Reset of int  (** Erase a processor's memory (resetting failure). *)
+  | Crash of int  (** Permanently stop a processor (crash failure). *)
+  | Corrupt of int * 'm
+      (** Byzantine corruption: rewrite buffered message [id] in place. *)
+
+val pp : (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

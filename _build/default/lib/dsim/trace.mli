@@ -1,0 +1,41 @@
+(** Execution traces and running-time accounting.
+
+    A trace records the events of an execution at the granularity the
+    paper measures: sends, deliveries, resets, crashes, decisions and
+    window boundaries.  Recording full event lists is optional (long
+    adversarial executions are exponentially long); the counters are
+    always maintained. *)
+
+type event =
+  | Sent of { src : int; dst : int; msg_id : int; depth : int }
+  | Delivered of { src : int; dst : int; msg_id : int; depth : int }
+  | Dropped of { msg_id : int }
+  | Reset_done of { pid : int }
+  | Crashed of { pid : int }
+  | Decided of { pid : int; value : bool; step : int; window : int; chain_depth : int }
+  | Window_closed of { index : int }
+
+type t
+
+val create : record_events:bool -> t
+val copy : t -> t
+
+val record : t -> event -> unit
+val events : t -> event list
+(** Chronological; empty unless [record_events] was set. *)
+
+val sent : t -> int
+val delivered : t -> int
+val dropped : t -> int
+val resets : t -> int
+val crashes : t -> int
+val windows_closed : t -> int
+
+val decisions : t -> (int * bool * int * int * int) list
+(** [(pid, value, step, window, chain_depth)] in decision order; always
+    recorded, even when events are not. *)
+
+val first_decision : t -> (int * bool * int * int * int) option
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+let event_to_json = function
+  | Trace.Sent { src; dst; msg_id; depth } ->
+      Printf.sprintf {|{"type":"sent","src":%d,"dst":%d,"msg_id":%d,"depth":%d}|} src
+        dst msg_id depth
+  | Trace.Delivered { src; dst; msg_id; depth } ->
+      Printf.sprintf {|{"type":"delivered","src":%d,"dst":%d,"msg_id":%d,"depth":%d}|}
+        src dst msg_id depth
+  | Trace.Dropped { msg_id } -> Printf.sprintf {|{"type":"dropped","msg_id":%d}|} msg_id
+  | Trace.Reset_done { pid } -> Printf.sprintf {|{"type":"reset","pid":%d}|} pid
+  | Trace.Crashed { pid } -> Printf.sprintf {|{"type":"crashed","pid":%d}|} pid
+  | Trace.Decided { pid; value; step; window; chain_depth } ->
+      Printf.sprintf
+        {|{"type":"decided","pid":%d,"value":%d,"step":%d,"window":%d,"chain_depth":%d}|}
+        pid
+        (if value then 1 else 0)
+        step window chain_depth
+  | Trace.Window_closed { index } ->
+      Printf.sprintf {|{"type":"window_closed","index":%d}|} index
+
+let summary_to_json trace =
+  let decisions =
+    Trace.decisions trace
+    |> List.map (fun (pid, value, step, window, chain) ->
+           Printf.sprintf {|{"pid":%d,"value":%d,"step":%d,"window":%d,"chain_depth":%d}|}
+             pid
+             (if value then 1 else 0)
+             step window chain)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    {|{"type":"summary","sent":%d,"delivered":%d,"dropped":%d,"resets":%d,"crashes":%d,"windows":%d,"decisions":[%s]}|}
+    (Trace.sent trace) (Trace.delivered trace) (Trace.dropped trace)
+    (Trace.resets trace) (Trace.crashes trace)
+    (Trace.windows_closed trace)
+    decisions
+
+let to_jsonl trace =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (summary_to_json trace);
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun event ->
+      Buffer.add_string buffer (event_to_json event);
+      Buffer.add_char buffer '\n')
+    (Trace.events trace);
+  Buffer.contents buffer
+
+let write_file ~path trace =
+  let oc = open_out path in
+  output_string oc (to_jsonl trace);
+  close_out oc

@@ -1,0 +1,19 @@
+(** Machine-readable export of executions.
+
+    One JSON object per line (JSON Lines), so traces stream into
+    jq/pandas/duckdb without a parser dependency on our side.  Only
+    events recorded by the trace are exported — construct the engine
+    with [~record_events:true] to get the full event log; the summary
+    line is always available. *)
+
+val event_to_json : Trace.event -> string
+(** A single-line JSON object with a ["type"] discriminator. *)
+
+val summary_to_json : Trace.t -> string
+(** One JSON object with the counters and the decision list. *)
+
+val to_jsonl : Trace.t -> string
+(** The summary line followed by every recorded event, newline
+    separated (ends with a newline). *)
+
+val write_file : path:string -> Trace.t -> unit

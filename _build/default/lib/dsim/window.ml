@@ -1,0 +1,60 @@
+type t = { receive_sets : int list array; resets : int list }
+
+let normalize xs = List.sort_uniq compare xs
+
+let make ~receive_sets ~resets =
+  { receive_sets = Array.map normalize receive_sets; resets = normalize resets }
+
+let all_pids n = List.init n (fun i -> i)
+
+let uniform ~n ?(silenced = []) ?(resets = []) () =
+  let silenced = normalize silenced in
+  let s = List.filter (fun p -> not (List.mem p silenced)) (all_pids n) in
+  { receive_sets = Array.make n s; resets = normalize resets }
+
+let hybrid ~n ~j ~s0 ~s1 ~r0 ~r1 =
+  let s0 = normalize s0 and s1 = normalize s1 in
+  let receive_sets = Array.init n (fun i -> if i < j then s0 else s1) in
+  let resets =
+    normalize (List.filter (fun p -> p < j) r0 @ List.filter (fun p -> p >= j) r1)
+  in
+  { receive_sets; resets }
+
+let validate ~n ~t w =
+  let in_range p = p >= 0 && p < n in
+  let check_set i s =
+    if List.exists (fun p -> not (in_range p)) s then
+      Error (Printf.sprintf "S_%d contains an out-of-range pid" i)
+    else if List.length s < n - t then
+      Error (Printf.sprintf "S_%d has %d senders; need >= n - t = %d" i (List.length s) (n - t))
+    else Ok ()
+  in
+  if Array.length w.receive_sets <> n then
+    Error (Printf.sprintf "window has %d receive sets; need %d" (Array.length w.receive_sets) n)
+  else if List.length w.resets > t then
+    Error (Printf.sprintf "window resets %d processors; at most t = %d allowed" (List.length w.resets) t)
+  else if List.exists (fun p -> not (in_range p)) w.resets then
+    Error "reset set contains an out-of-range pid"
+  else
+    let rec check i =
+      if i >= n then Ok ()
+      else
+        match check_set i w.receive_sets.(i) with
+        | Error _ as e -> e
+        | Ok () -> check (i + 1)
+    in
+    check 0
+
+let receive_set w i = w.receive_sets.(i)
+
+let is_fault_free w ~n =
+  List.length w.resets = 0
+  && Array.for_all (fun s -> List.length s = n) w.receive_sets
+
+let pp ppf w =
+  let pp_list ppf l =
+    Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Format.pp_print_int) l
+  in
+  Format.fprintf ppf "@[<v>window: resets=%a@," pp_list w.resets;
+  Array.iteri (fun i s -> Format.fprintf ppf "  S_%d=%a@," i pp_list s) w.receive_sets;
+  Format.fprintf ppf "@]"

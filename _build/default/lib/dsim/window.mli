@@ -1,0 +1,37 @@
+(** Acceptable windows (Definition 1).
+
+    An acceptable window is: all [n] processors take sending steps; then
+    each processor [i] receives the messages just sent to it by the
+    senders in a set [S_i] with [|S_i| >= n - t]; finally at most [t]
+    resetting steps occur.  The strongly adaptive adversary is exactly
+    the class of adversaries whose infinite executions decompose into
+    adjacent disjoint acceptable windows. *)
+
+type t = {
+  receive_sets : int list array;
+      (** [receive_sets.(i)] is [S_i]: the senders whose fresh messages
+          processor [i] receives this window.  Sorted, duplicate-free. *)
+  resets : int list;  (** The set [R] of processors reset at window end. *)
+}
+
+val make : receive_sets:int list array -> resets:int list -> t
+(** Normalizes (sorts, dedups) but does not validate. *)
+
+val uniform : n:int -> ?silenced:int list -> ?resets:int list -> unit -> t
+(** The window the paper's proofs use: every processor receives from the
+    same set [S = [n] \ silenced], then [resets] are applied.  With no
+    arguments it is the fault-free fair window. *)
+
+val hybrid : n:int -> j:int -> s0:int list -> s1:int list -> r0:int list -> r1:int list -> t
+(** Lemma 14's interpolation: processors [0..j-1] use receive set [s0]
+    and [j..n-1] use [s1]; the reset set is
+    [r0 ∩ {0..j-1} ∪ r1 ∩ {j..t'-1}]-style mixing, here realized as
+    [r0 ∩ [0,j) ∪ r1 ∩ [j,n)]. *)
+
+val validate : n:int -> t:int -> t -> (unit, string) result
+(** Checks Definition 1: every [S_i] within range with
+    [|S_i| >= n - t], and [|R| <= t]. *)
+
+val receive_set : t -> int -> int list
+val is_fault_free : t -> n:int -> bool
+val pp : Format.formatter -> t -> unit

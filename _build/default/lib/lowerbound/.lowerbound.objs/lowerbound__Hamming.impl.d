@@ -1,0 +1,1 @@
+lib/lowerbound/hamming.ml: Array Dsim List

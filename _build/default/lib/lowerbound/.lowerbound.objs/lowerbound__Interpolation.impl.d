@@ -1,0 +1,1 @@
+lib/lowerbound/interpolation.ml: List Product Stats Talagrand

@@ -1,0 +1,1 @@
+lib/lowerbound/interpolation.mli: Product Talagrand

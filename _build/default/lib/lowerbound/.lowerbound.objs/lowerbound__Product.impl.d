@@ -1,0 +1,1 @@
+lib/lowerbound/product.ml: Array Float Prng

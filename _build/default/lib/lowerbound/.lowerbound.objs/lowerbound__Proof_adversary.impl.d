@@ -1,0 +1,1 @@
+lib/lowerbound/proof_adversary.ml: Dsim List Prng Stats Zk_sets

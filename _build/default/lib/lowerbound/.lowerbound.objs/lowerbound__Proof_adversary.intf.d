@@ -1,0 +1,1 @@
+lib/lowerbound/proof_adversary.mli: Dsim Prng

@@ -1,0 +1,1 @@
+lib/lowerbound/talagrand.ml: Array Hamming List Product Stats

@@ -1,0 +1,1 @@
+lib/lowerbound/talagrand.mli: Product

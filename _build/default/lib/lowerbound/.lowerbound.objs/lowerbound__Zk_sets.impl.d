@@ -1,0 +1,1 @@
+lib/lowerbound/zk_sets.ml: Array Dsim Hamming List Prng Stats

@@ -1,0 +1,1 @@
+lib/lowerbound/zk_sets.mli: Dsim Prng

@@ -1,0 +1,27 @@
+(** Hamming geometry on configurations and on abstract product spaces.
+
+    The lower bound works in the joint state space [Sigma^n] with the
+    Hamming distance: the number of processors whose local states
+    differ (Definitions 6-8).  Configurations are compared through their
+    canonical per-processor cores ([Engine.state_cores]). *)
+
+val distance : string array -> string array -> int
+(** Coordinates differing between two equal-length configurations.
+    Raises [Invalid_argument] on length mismatch. *)
+
+val distance_int : int array -> int array -> int
+(** Same, on integer-coordinate points of an abstract product space. *)
+
+val distance_to_set : string array -> string array list -> int
+(** [Delta(x, A)]: minimum distance from the point to the set; the set
+    must be non-empty. *)
+
+val distance_between_sets : string array list -> string array list -> int
+(** [Delta(A, B)]: minimum over pairs; both non-empty. *)
+
+val within : d:int -> string array -> string array list -> bool
+(** Membership in [B(A, d)]. *)
+
+val config_distance : ('s, 'm) Dsim.Engine.t -> ('s, 'm) Dsim.Engine.t -> int
+(** Hamming distance between two engine configurations (their state
+    cores; message buffers are not part of the paper's [Sigma^n]). *)

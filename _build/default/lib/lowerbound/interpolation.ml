@@ -1,0 +1,40 @@
+type point = { j : int; p_z0 : float; p_z1 : float }
+
+type result = {
+  curve : point list;
+  j_star : int;
+  eta : float;
+  p_z0_at_star : float;
+  p_z1_at_star : float;
+  conclusion_holds : bool;
+}
+
+let sweep ?(samples = 50_000) ?(seed = 0) ~pi0 ~pi_n ~z0 ~z1 ~t () =
+  let n = Product.dims pi0 in
+  if Product.dims pi_n <> n then invalid_arg "Interpolation.sweep: dimension mismatch";
+  let eta = Stats.Tail.eta ~n ~t in
+  let mass space desc =
+    Product.prob ~samples ~seed space (Talagrand.mem desc)
+  in
+  let curve =
+    List.init (n + 1) (fun j ->
+        let hybrid = Product.hybrid pi_n pi0 ~j in
+        { j; p_z0 = mass hybrid z0; p_z1 = mass hybrid z1 })
+  in
+  let j_star =
+    match List.find_opt (fun p -> p.p_z0 <= eta) curve with
+    | Some p -> p.j
+    | None -> n (* j = n satisfies the condition by construction *)
+  in
+  let at_star = List.nth curve j_star in
+  let exact = Product.total_outcomes pi0 <= float_of_int (1 lsl 22) in
+  let tolerance = if exact then 1e-12 else 3.0 /. sqrt (float_of_int samples) in
+  {
+    curve;
+    j_star;
+    eta;
+    p_z0_at_star = at_star.p_z0;
+    p_z1_at_star = at_star.p_z1;
+    conclusion_holds =
+      at_star.p_z0 <= eta +. tolerance && at_star.p_z1 <= eta +. tolerance;
+  }

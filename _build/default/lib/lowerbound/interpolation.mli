@@ -1,0 +1,40 @@
+(** The interpolation argument of Lemma 14, executed numerically.
+
+    Setting: a configuration outside [Z^k_0 ∪ Z^k_1] admits one window
+    whose induced product distribution [pi_0] puts mass [<= tau] on
+    [Z^{k-1}_1], and another inducing [pi_n] with mass [<= tau] on
+    [Z^{k-1}_0].  Hybridizing one coordinate at a time yields some
+    [pi_{j*}] putting mass [<= eta] on *both* sets, where
+    [eta = exp (-(t-1)^2 / 8n)] — provided the two sets are Hamming
+    separated by more than [t] (Lemma 13).
+
+    This module takes the two endpoint distributions and the two set
+    descriptors, sweeps the hybrids, locates [j*], and checks the
+    lemma's conclusion — the content of experiment E5. *)
+
+type point = { j : int; p_z0 : float; p_z1 : float }
+
+type result = {
+  curve : point list;  (** Masses under every hybrid [pi_j], j = 0..n. *)
+  j_star : int;  (** Minimal [j] with [P_{pi_j}(Z0) <= eta]. *)
+  eta : float;
+  p_z0_at_star : float;
+  p_z1_at_star : float;
+  conclusion_holds : bool;
+      (** Both masses at [j*] are [<= eta] (with Monte-Carlo slack). *)
+}
+
+val sweep :
+  ?samples:int ->
+  ?seed:int ->
+  pi0:Product.t ->
+  pi_n:Product.t ->
+  z0:Talagrand.set_desc ->
+  z1:Talagrand.set_desc ->
+  t:int ->
+  unit ->
+  result
+(** Requires the two distributions to share dimensions; [t] is the
+    fault bound defining [eta].  The hybrid [pi_j] takes coordinates
+    [< j] from [pi_n] and the rest from [pi0], matching the paper's
+    indexing (so [pi_0 = pi0] and [pi_dims = pi_n]). *)

@@ -1,0 +1,79 @@
+type t = { pmfs : float array array }
+
+let normalize row =
+  let total = Array.fold_left ( +. ) 0.0 row in
+  if total <= 0.0 then invalid_arg "Product.create: row with zero mass";
+  Array.iter (fun p -> if p < 0.0 then invalid_arg "Product.create: negative probability") row;
+  if Float.abs (total -. 1.0) > 1e-9 then
+    invalid_arg "Product.create: row does not sum to 1";
+  Array.map (fun p -> p /. total) row
+
+let create pmfs =
+  if Array.length pmfs = 0 then invalid_arg "Product.create: no coordinates";
+  Array.iter (fun row -> if Array.length row = 0 then invalid_arg "Product.create: empty row") pmfs;
+  { pmfs = Array.map normalize pmfs }
+
+let dims t = Array.length t.pmfs
+let support t i = Array.length t.pmfs.(i)
+
+let uniform_bits ~n = create (Array.make n [| 0.5; 0.5 |])
+
+let bernoulli ps = create (Array.map (fun p -> [| 1.0 -. p; p |]) ps)
+
+let hybrid a b ~j =
+  if dims a <> dims b then invalid_arg "Product.hybrid: dimension mismatch";
+  if j < 0 || j > dims a then invalid_arg "Product.hybrid: j out of range";
+  { pmfs = Array.init (dims a) (fun i -> if i < j then a.pmfs.(i) else b.pmfs.(i)) }
+
+let coordinate_pmf t i = Array.copy t.pmfs.(i)
+
+let sample t rng =
+  Array.map
+    (fun row ->
+      let u = Prng.Stream.float rng in
+      let rec pick i acc =
+        if i >= Array.length row - 1 then i
+        else
+          let acc = acc +. row.(i) in
+          if u < acc then i else pick (i + 1) acc
+      in
+      pick 0 0.0)
+    t.pmfs
+
+let total_outcomes t =
+  Array.fold_left (fun acc row -> acc *. float_of_int (Array.length row)) 1.0 t.pmfs
+
+let prob_exact t predicate =
+  if total_outcomes t > float_of_int (1 lsl 22) then
+    invalid_arg "Product.prob_exact: space too large";
+  let n = dims t in
+  let point = Array.make n 0 in
+  (* Depth-first enumeration with running probability. *)
+  let rec walk i p acc =
+    if p = 0.0 then acc
+    else if i = n then if predicate point then acc +. p else acc
+    else begin
+      let row = t.pmfs.(i) in
+      let acc = ref acc in
+      Array.iteri
+        (fun v pv ->
+          point.(i) <- v;
+          acc := walk (i + 1) (p *. pv) !acc)
+        row;
+      !acc
+    end
+  in
+  walk 0 1.0 0.0
+
+let prob_mc t ~samples ~seed predicate =
+  if samples <= 0 then invalid_arg "Product.prob_mc: samples must be positive";
+  let rng = Prng.Stream.root seed in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if predicate (sample t rng) then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let prob ?(samples = 100_000) ?(seed = 0) t predicate =
+  if total_outcomes t <= float_of_int (1 lsl 22) then prob_exact t predicate
+  else prob_mc t ~samples ~seed predicate

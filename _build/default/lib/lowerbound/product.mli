@@ -1,0 +1,47 @@
+(** Explicit finite product probability spaces
+    [Omega = Omega_1 x ... x Omega_n].
+
+    Talagrand's inequality (Lemma 9) and the interpolation argument
+    (Lemma 14) are statements about arbitrary product measures; this
+    module realizes them concretely so the experiments can check the
+    inequalities numerically — exactly by enumeration when the space is
+    small, by Monte Carlo otherwise. *)
+
+type t
+
+val create : float array array -> t
+(** [create pmfs]: coordinate [i] takes value [v] with probability
+    [pmfs.(i).(v)].  Each row must be a non-empty probability vector
+    (non-negative, summing to 1 within 1e-9; it is renormalized). *)
+
+val dims : t -> int
+val support : t -> int -> int
+(** Number of outcomes of one coordinate. *)
+
+val uniform_bits : n:int -> t
+(** [n] fair coins — the distribution behind step 3 of the variant
+    algorithm. *)
+
+val bernoulli : float array -> t
+(** Independent bits with per-coordinate success probabilities. *)
+
+val hybrid : t -> t -> j:int -> t
+(** Lemma 14's interpolation: coordinates [< j] from the first
+    distribution, the rest from the second.  Dimensions must match. *)
+
+val coordinate_pmf : t -> int -> float array
+
+val sample : t -> Prng.Stream.t -> int array
+
+val total_outcomes : t -> float
+(** Product of supports (as a float, to detect blow-up). *)
+
+val prob_exact : t -> (int array -> bool) -> float
+(** Exact probability of a predicate by full enumeration.  Raises
+    [Invalid_argument] when the space exceeds 2^22 outcomes. *)
+
+val prob_mc : t -> samples:int -> seed:int -> (int array -> bool) -> float
+(** Monte-Carlo estimate. *)
+
+val prob : ?samples:int -> ?seed:int -> t -> (int array -> bool) -> float
+(** Exact when feasible, Monte Carlo (default 100_000 samples) else. *)

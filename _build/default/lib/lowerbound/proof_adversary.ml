@@ -1,0 +1,50 @@
+let tau_of config =
+  Stats.Tail.tau ~n:(Dsim.Engine.n config) ~t:(Dsim.Engine.fault_bound config)
+
+let level config ~k_max ~samples ~rng =
+  let tau = tau_of config in
+  let rec scan k =
+    if k < 0 then -1
+    else
+      let in0 = Zk_sets.member config ~k ~value:false ~samples ~tau ~rng in
+      let in1 = Zk_sets.member config ~k ~value:true ~samples ~tau ~rng in
+      if (not in0) && not in1 then k else scan (k - 1)
+  in
+  scan k_max
+
+let windowed ~k_max ~samples ~seed () =
+  let rng = Prng.Stream.root seed in
+  fun config ->
+    let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+    let tau = Stats.Tail.tau ~n ~t in
+    let k = level config ~k_max ~samples ~rng in
+    if k <= 0 then Some (Dsim.Window.uniform ~n ())
+    else begin
+      (* Score every canonical window by its estimated probability of
+         landing in Z^{k-1}_0 ∪ Z^{k-1}_1 after application. *)
+      let score (resets, silenced) =
+        let hits = ref 0 in
+        for _ = 1 to samples do
+          let fork = Dsim.Engine.copy config in
+          Dsim.Engine.reseed fork (Prng.Stream.derive rng (Prng.Stream.bits rng));
+          Dsim.Engine.apply_window fork (Dsim.Window.uniform ~n ~silenced ~resets ());
+          let bad =
+            Zk_sets.member fork ~k:(k - 1) ~value:false ~samples ~tau ~rng
+            || Zk_sets.member fork ~k:(k - 1) ~value:true ~samples ~tau ~rng
+          in
+          if bad then incr hits
+        done;
+        float_of_int !hits /. float_of_int samples
+      in
+      let choices = Zk_sets.canonical_choices ~n ~t in
+      let best_choice, _ =
+        List.fold_left
+          (fun (best, best_score) choice ->
+            let s = score choice in
+            if s < best_score then (choice, s) else (best, best_score))
+          (List.hd choices, infinity)
+          choices
+      in
+      let resets, silenced = best_choice in
+      Some (Dsim.Window.uniform ~n ~silenced ~resets ())
+    end

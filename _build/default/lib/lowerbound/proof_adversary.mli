@@ -1,0 +1,46 @@
+(** The Theorem 5 proof adversary, made executable.
+
+    The proof's adversary, confronted with a configuration [sigma],
+    determines the maximal [k <= E] with [sigma ∉ Z^k_0 ∪ Z^k_1] and
+    applies the acceptable window guaranteed by Lemma 14 to reach a
+    configuration outside [Z^{k-1}_0 ∪ Z^{k-1}_1] with high
+    probability.
+
+    This module replaces the two non-computable ingredients with their
+    Monte-Carlo counterparts from {!Zk_sets}:
+
+    - membership in [Z^k_b] is estimated over the canonical window
+      family with sampled coins;
+    - the Lemma 14 window is chosen by scoring every canonical window
+      by its estimated probability of landing in
+      [Z^{k-1}_0 ∪ Z^{k-1}_1] and playing the minimizer — the
+      interpolation argument guarantees a good one exists among the
+      hybrids; we search the family directly.
+
+    Exponential in [k_max], so usable for small [n] and [k_max <= 2] —
+    which is exactly how [examples/lower_bound_tour.exe] and the tests
+    exercise it.  For experiments at scale, {!Adversary.Lookahead} is
+    the cheaper decision-probability proxy. *)
+
+val level :
+  ('s, 'm) Dsim.Engine.t ->
+  k_max:int ->
+  samples:int ->
+  rng:Prng.Stream.t ->
+  int
+(** The maximal [k <= k_max] with the configuration estimated outside
+    [Z^k_0 ∪ Z^k_1]; [-1] when it is already inside some union at
+    [k = 0] (i.e. decided both ways — impossible for correct
+    algorithms — or inside both balls at every level). *)
+
+val windowed :
+  k_max:int ->
+  samples:int ->
+  seed:int ->
+  unit ->
+  ('s, 'm) Dsim.Engine.t -> Dsim.Window.t option
+(** The strategy: estimate the level, then play the canonical window
+    minimizing the estimated probability of entering
+    [Z^{level-1}_0 ∪ Z^{level-1}_1].  At level [<= 0] it falls back to
+    the fault-free window (the game is lost; Theorem 5 only promises
+    the adversary survives while outside the unions). *)

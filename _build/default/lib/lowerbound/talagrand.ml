@@ -1,0 +1,68 @@
+type set_desc =
+  | Ball of { center : int array; radius : int }
+  | Weight_ge of int
+  | Weight_le of int
+  | Near of { points : int array list; slack : int }
+
+let explicit points = Near { points; slack = 0 }
+
+let weight x = Array.fold_left (fun acc v -> if v >= 1 then acc + 1 else acc) 0 x
+
+let min_distance points x =
+  match points with
+  | [] -> invalid_arg "Talagrand: empty point list"
+  | first :: rest ->
+      List.fold_left
+        (fun acc p -> min acc (Hamming.distance_int x p))
+        (Hamming.distance_int x first) rest
+
+let mem desc x =
+  match desc with
+  | Ball { center; radius } -> Hamming.distance_int x center <= radius
+  | Weight_ge k -> weight x >= k
+  | Weight_le k -> weight x <= k
+  | Near { points; slack } -> min_distance points x <= slack
+
+let expand desc d =
+  if d < 0 then invalid_arg "Talagrand.expand: negative d";
+  match desc with
+  | Ball b -> Ball { b with radius = b.radius + d }
+  | Weight_ge k -> Weight_ge (max 0 (k - d))
+  | Weight_le k -> Weight_le (k + d)
+  | Near n -> Near { n with slack = n.slack + d }
+
+let set_distance a b =
+  match (a, b) with
+  | Weight_ge k, Weight_le k' | Weight_le k', Weight_ge k ->
+      Some (max 0 (k - k'))
+  | Near { points = pa; slack = sa }, Near { points = pb; slack = sb } ->
+      let raw =
+        List.fold_left
+          (fun acc x -> min acc (min_distance pb x))
+          max_int pa
+      in
+      Some (max 0 (raw - sa - sb))
+  | _, _ -> None
+
+type check = {
+  p_a : float;
+  p_expansion : float;
+  lhs : float;
+  bound : float;
+  holds : bool;
+}
+
+let check ?(samples = 100_000) ?(seed = 0) space desc ~d =
+  let n = Product.dims space in
+  let expansion = expand desc d in
+  let exact = Product.total_outcomes space <= float_of_int (1 lsl 22) in
+  let p predicate =
+    if exact then Product.prob_exact space predicate
+    else Product.prob_mc space ~samples ~seed predicate
+  in
+  let p_a = p (mem desc) in
+  let p_expansion = p (mem expansion) in
+  let lhs = p_a *. (1.0 -. p_expansion) in
+  let bound = Stats.Tail.talagrand_bound ~n ~d:(float_of_int d) in
+  let tolerance = if exact then 1e-12 else 3.0 /. sqrt (float_of_int samples) in
+  { p_a; p_expansion; lhs; bound; holds = lhs <= bound +. tolerance }

@@ -1,0 +1,50 @@
+(** Numerical verification of the Talagrand consequence (Lemma 9):
+
+    [P(A) * (1 - P(B(A, d))) <= exp (-d^2 / 4n)]
+
+    for any [A] in a product space and any [d >= 0].
+
+    Checking the inequality needs membership tests for both [A] and its
+    Hamming expansion [B(A, d)].  For arbitrary predicate sets the
+    expansion is intractable, so sets are given by descriptors whose
+    expansion is closed-form (balls, weight halfspaces, neighbourhoods
+    of explicit point lists). *)
+
+type set_desc =
+  | Ball of { center : int array; radius : int }
+      (** [{x : Delta(x, center) <= radius}]; expansion grows radius. *)
+  | Weight_ge of int
+      (** [{x : #{i : x_i >= 1} >= k}] (binary spaces); expansion
+          lowers the threshold — the "strong majority" decision sets of
+          the variant algorithm have exactly this shape. *)
+  | Weight_le of int
+  | Near of { points : int array list; slack : int }
+      (** [{x : min distance to the list <= slack}]; [slack = 0] is the
+          explicit set itself. *)
+
+val explicit : int array list -> set_desc
+(** [Near] with zero slack. *)
+
+val mem : set_desc -> int array -> bool
+
+val expand : set_desc -> int -> set_desc
+(** [expand a d] describes [B(a, d)]. *)
+
+val set_distance : set_desc -> set_desc -> int option
+(** Exact [Delta(A, B)] for the descriptor pairs where it is closed
+    form: [Weight_ge k] vs [Weight_le k'] ([k - k'] when positive) and
+    [Near]/[Near]; [None] otherwise. *)
+
+type check = {
+  p_a : float;  (** [P(A)]. *)
+  p_expansion : float;  (** [P(B(A, d))]. *)
+  lhs : float;  (** [P(A) * (1 - P(B(A, d)))]. *)
+  bound : float;  (** [exp (-d^2 / 4n)]. *)
+  holds : bool;  (** [lhs <= bound + slack] with Monte-Carlo slack. *)
+}
+
+val check :
+  ?samples:int -> ?seed:int -> Product.t -> set_desc -> d:int -> check
+(** Evaluate both sides of Lemma 9 on a concrete product measure.
+    Exact when the space is enumerable, Monte Carlo otherwise (the
+    [holds] verdict then allows a [3/sqrt samples] tolerance). *)

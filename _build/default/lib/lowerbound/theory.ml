@@ -1,0 +1,40 @@
+type constants = { c : float; alpha : float; log_c_const : float }
+
+(* (cn - 1)^2 / 8n *)
+let decay_exponent ~c ~n =
+  let cn1 = (c *. n) -. 1.0 in
+  cn1 *. cn1 /. (8.0 *. n)
+
+(* ln of the RHS/LHS gap of (3) at a given n, for C = 1:
+   g(n) = ln(1/4) + (cn-1)^2/8n - alpha n.
+   The largest valid C has ln C = min over n >= 1 of g(n). *)
+let gap ~c ~alpha n = log 0.25 +. decay_exponent ~c ~n -. (alpha *. n)
+
+let derive ~c =
+  if c <= 0.0 || c >= 1.0 then invalid_arg "Theory.derive: need 0 < c < 1";
+  let alpha = c *. c /. 9.0 in
+  (* g(n) = ln(1/4) + c^2 n / 8 - c/4 + 1/(8n) - alpha n; the n terms
+     have positive net slope (c^2/8 - c^2/9 > 0) and 1/(8n) decays, so
+     g is eventually increasing.  Scan integers far enough to bracket
+     the minimum: the derivative is positive once
+     (c^2/72) > 1/(8 n^2), i.e. n > 3/c. *)
+  let horizon = max 10 (int_of_float (10.0 /. c)) in
+  let minimum = ref infinity in
+  for n = 1 to horizon do
+    minimum := Float.min !minimum (gap ~c ~alpha (float_of_int n))
+  done;
+  { c; alpha; log_c_const = !minimum }
+
+let log_windows k ~n = k.log_c_const +. (k.alpha *. float_of_int n)
+let windows k ~n = exp (log_windows k ~n)
+
+let exponent_inequality_holds k ~n =
+  log_windows k ~n <= log 0.25 +. decay_exponent ~c:k.c ~n:(float_of_int n) +. 1e-9
+
+let log_failure_term k ~n =
+  log 2.0 +. log_windows k ~n -. decay_exponent ~c:k.c ~n:(float_of_int n)
+
+let success_probability_lower_bound k ~n =
+  Float.max 0.0 (1.0 -. exp (log_failure_term k ~n))
+
+let crossover_n k = -.k.log_c_const /. k.alpha

@@ -1,0 +1,45 @@
+(** The closed-form constants of Theorem 5 (and Theorem 17, which uses
+    the same ones).
+
+    With [t = c n], the paper sets [alpha := c^2 / 9] and picks [C]
+    small enough that
+
+      [C e^{alpha n} <= (1/4) e^{(cn - 1)^2 / 8n}]   for all [n >= 1]  (3)
+
+    and defines [E := C e^{alpha n}], the window count the adversary
+    survives.  The success probability of the proof's adversary is then
+    at least [1 - 2 E e^{-(cn-1)^2 / 8n} >= 1/2].
+
+    [E] is astronomically small for small [n] and astronomically large
+    for large [n]; everything here is computed in log-space. *)
+
+type constants = {
+  c : float;  (** Fault fraction, [t = c n]. *)
+  alpha : float;  (** [c^2 / 9]. *)
+  log_c_const : float;  (** [ln C] for the largest valid [C]. *)
+}
+
+val derive : c:float -> constants
+(** Computes the largest [C] satisfying (3); requires [0 < c < 1]. *)
+
+val log_windows : constants -> n:int -> float
+(** [ln E(n) = ln C + alpha * n]: natural log of the guaranteed window
+    count. *)
+
+val windows : constants -> n:int -> float
+(** [E(n)], possibly [0.] by underflow or [infinity] by overflow; use
+    {!log_windows} for reporting. *)
+
+val exponent_inequality_holds : constants -> n:int -> bool
+(** Check (3) at a specific [n]. *)
+
+val log_failure_term : constants -> n:int -> float
+(** [ln (2 E e^{-(cn-1)^2/8n})]: log of the adversary's failure
+    probability bound; [<= ln (1/2)] whenever (3) holds. *)
+
+val success_probability_lower_bound : constants -> n:int -> float
+(** [max 0 (1 - 2 E e^{-(cn-1)^2/8n})]; [>= 1/2] whenever (3) holds. *)
+
+val crossover_n : constants -> float
+(** The [n] at which [E(n) = 1]: below it the bound is vacuous, above
+    it the guaranteed running time grows as [e^{alpha n}]. *)

@@ -1,0 +1,131 @@
+let block ~n ~t start = List.init t (fun i -> (start + i) mod n)
+
+let canonical_choices ~n ~t =
+  if t = 0 then [ ([], []) ]
+  else
+    let b0 = block ~n ~t 0 and b1 = block ~n ~t t in
+    [
+      ([], []);
+      ([], b0);
+      (b0, []);
+      (b0, b0);
+      ([], b1);
+      (b1, b1);
+    ]
+
+let in_z0 config ~value =
+  List.exists (fun (_, v) -> v = value) (Dsim.Engine.decided_values config)
+
+let apply_choice config (resets, silenced) =
+  let n = Dsim.Engine.n config in
+  Dsim.Engine.apply_window config (Dsim.Window.uniform ~n ~silenced ~resets ())
+
+let rec member config ~k ~value ~samples ~tau ~rng =
+  if k <= 0 then in_z0 config ~value
+  else begin
+    let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
+    let choices = canonical_choices ~n ~t in
+    (* Member of Z^k iff every canonical choice lands in Z^{k-1} with
+       probability > tau. *)
+    List.for_all
+      (fun choice ->
+        let hits = ref 0 in
+        for _ = 1 to samples do
+          let fork = Dsim.Engine.copy config in
+          Dsim.Engine.reseed fork (Prng.Stream.derive rng (Prng.Stream.bits rng));
+          apply_choice fork choice;
+          if member fork ~k:(k - 1) ~value ~samples ~tau ~rng then incr hits
+        done;
+        float_of_int !hits /. float_of_int samples > tau)
+      choices
+  end
+
+type separation = {
+  pairs_checked : int;
+  min_distance : int;
+  bound : int;
+  holds : bool;
+}
+
+let estimate_zk_separation ~protocol ~n ~t ~k ~runs ~samples ~seed =
+  let rng = Prng.Stream.root seed in
+  let tau = Stats.Tail.tau ~n ~t in
+  let zero_configs = ref [] and one_configs = ref [] in
+  for run = 1 to runs do
+    (* Unanimous inputs of alternating value: the resulting reachable
+       configurations are deep inside Z^k of that value, so both
+       buckets fill quickly. *)
+    let value = run mod 2 = 0 in
+    let inputs = Array.make n value in
+    let config =
+      Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs
+        ~seed:(seed + (run * 104729)) ()
+    in
+    (* A short random window prefix (possibly zero windows). *)
+    let prefix = Prng.Stream.int_below rng 3 in
+    for _ = 1 to prefix do
+      let silenced =
+        if t > 0 && Prng.Stream.bool rng then
+          Prng.Stream.sample_without_replacement rng t n
+        else []
+      in
+      Dsim.Engine.apply_window config (Dsim.Window.uniform ~n ~silenced ())
+    done;
+    let in0 = member config ~k ~value:false ~samples ~tau ~rng in
+    let in1 = member config ~k ~value:true ~samples ~tau ~rng in
+    match (in0, in1) with
+    | true, false -> zero_configs := Dsim.Engine.state_cores config :: !zero_configs
+    | false, true -> one_configs := Dsim.Engine.state_cores config :: !one_configs
+    | _, _ -> ()
+  done;
+  match (!zero_configs, !one_configs) with
+  | [], _ | _, [] ->
+      { pairs_checked = 0; min_distance = max_int; bound = t; holds = true }
+  | zeros, ones ->
+      let min_distance = Hamming.distance_between_sets zeros ones in
+      {
+        pairs_checked = List.length zeros * List.length ones;
+        min_distance;
+        bound = t;
+        holds = min_distance > t;
+      }
+
+let estimate_z0_separation ~protocol ~n ~t ~runs ~seed =
+  let rng = Prng.Stream.root seed in
+  let zero_configs = ref [] and one_configs = ref [] in
+  for run = 1 to runs do
+    (* Split inputs, rotated per run so both decisions occur. *)
+    let inputs = Array.init n (fun i -> (i + run) mod 2 = 0) in
+    let config =
+      Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs
+        ~seed:(seed + (run * 7919)) ()
+    in
+    (* Randomized window adversary: random silencing each window. *)
+    let strategy cfg =
+      let silenced =
+        if t > 0 && Prng.Stream.bool rng then
+          Prng.Stream.sample_without_replacement rng t n
+        else []
+      in
+      ignore cfg;
+      Some (Dsim.Window.uniform ~n ~silenced ())
+    in
+    let outcome =
+      Dsim.Runner.run_windows config ~strategy ~max_windows:500 ~stop:`First_decision
+    in
+    match outcome.Dsim.Runner.decided with
+    | (_, true) :: _ -> one_configs := Dsim.Engine.state_cores config :: !one_configs
+    | (_, false) :: _ -> zero_configs := Dsim.Engine.state_cores config :: !zero_configs
+    | [] -> ()
+  done;
+  match (!zero_configs, !one_configs) with
+  | [], _ | _, [] ->
+      { pairs_checked = 0; min_distance = max_int; bound = t; holds = true }
+  | zeros, ones ->
+      let min_distance = Hamming.distance_between_sets zeros ones in
+      {
+        pairs_checked = List.length zeros * List.length ones;
+        min_distance;
+        bound = t;
+        holds = min_distance > t;
+      }

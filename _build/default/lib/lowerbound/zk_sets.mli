@@ -1,0 +1,78 @@
+(** Monte-Carlo exploration of the proof's progress sets [Z^k_b]
+    (Definitions 10 and 12).
+
+    [Z^0_b] is the set of reachable configurations where some processor
+    has output [b].  [Z^k_b] contains the reachable configurations from
+    which *every* admissible window choice [(R, S, ..., S)] leads into
+    [Z^{k-1}_b] with probability [> tau].
+
+    Exact membership quantifies over all [(R, S)] pairs and over the
+    randomness of the protocol; we approximate both: the window choices
+    range over a canonical family (no faults; each contiguous block of
+    [t] silenced; each block reset; both), and the landing probability
+    is estimated by sampling with fresh coins.  Because the canonical
+    family is a subset of all admissible choices, the approximation
+    *over*-estimates membership — so a configuration reported outside
+    [Z^k_0 ∪ Z^k_1] really is outside (up to sampling error), which is
+    the direction the adversary's argument needs.
+
+    Tractable only for small [n], [k] and sample counts; experiment E5b
+    uses [n = 7..13], [k <= 2]. *)
+
+val canonical_choices : n:int -> t:int -> (int list * int list) list
+(** [(resets, silenced)] pairs: fault-free, silence-block-0,
+    reset-block-0, silence+reset of block 0, and the same for the block
+    starting at [t] — six shapes echoing the proofs' canonical
+    [R = {1..t}, S = {t+1..n}]. *)
+
+val in_z0 : ('s, 'm) Dsim.Engine.t -> value:bool -> bool
+(** Membership in [Z^0_value]: some processor has output [value]. *)
+
+val member :
+  ('s, 'm) Dsim.Engine.t ->
+  k:int ->
+  value:bool ->
+  samples:int ->
+  tau:float ->
+  rng:Prng.Stream.t ->
+  bool
+(** Estimated membership in [Z^k_value] under the canonical choices.
+    The configuration is not mutated (all work happens on copies). *)
+
+type separation = {
+  pairs_checked : int;
+  min_distance : int;  (** Minimum Hamming distance seen across sets. *)
+  bound : int;  (** The fault bound [t]; Lemma 13 asserts distance > t. *)
+  holds : bool;
+}
+
+val estimate_z0_separation :
+  protocol:('s, 'm) Dsim.Protocol.t ->
+  n:int ->
+  t:int ->
+  runs:int ->
+  seed:int ->
+  separation
+(** Sample reachable decided configurations by running the protocol
+    under randomized window adversaries from split inputs, bucket them
+    by decision value, and report the smallest observed cross-bucket
+    Hamming distance — an empirical check of Lemma 11 (sampling can
+    only overestimate the true minimum, so [holds = true] is evidence,
+    not proof; [holds = false] would be a refutation). *)
+
+val estimate_zk_separation :
+  protocol:('s, 'm) Dsim.Protocol.t ->
+  n:int ->
+  t:int ->
+  k:int ->
+  runs:int ->
+  samples:int ->
+  seed:int ->
+  separation
+(** The same check at level [k] (Lemma 13): sample reachable
+    configurations by running randomized window prefixes from unanimous
+    inputs of both values (which keeps both [Z^k] buckets populated),
+    classify each configuration's [Z^k_0]/[Z^k_1] membership by
+    Monte-Carlo {!member}, and report the smallest cross-bucket
+    distance.  Configurations landing in neither or both buckets are
+    discarded. *)

@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The 64-bit finalizer of MurmurHash3 as used by SplitMix64. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+(* Variant finalizer used when deriving the gamma of a child stream. *)
+let mix64_variant z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let child_seed = next_int64 t in
+  create (mix64_variant child_seed)
+
+let bool t = Int64.compare (Int64.logand (next_int64 t) 1L) 0L <> 0
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int_below: bound must be positive";
+  if bound = 1 then 0
+  else begin
+    (* Rejection sampling keeps the distribution exactly uniform: a draw
+       [r] in [0, range) is rejected when it falls in the final partial
+       block, i.e. when [r - (r mod bound) + bound > range]. *)
+    let rec draw range gen =
+      let r = gen () in
+      let v = r mod bound in
+      if r - v + bound > range then draw range gen else v
+    in
+    if bound <= 0x40000000 then draw 0x40000000 (fun () -> bits t)
+    else
+      draw (0x40000000 * 0x40000000) (fun () ->
+          let hi = bits t in
+          (hi lsl 30) lor bits t)
+  end
+
+let float t =
+  (* 53 uniform bits into the mantissa. *)
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits53 *. (1.0 /. 9007199254740992.0)
+
+let int64_seed_of_int n = mix64 (Int64.of_int n)

@@ -1,0 +1,43 @@
+(** SplitMix64: a fast, splittable pseudo-random number generator.
+
+    This is the generator of Steele, Lea and Flood ("Fast splittable
+    pseudorandom number generators", OOPSLA 2014), chosen because the
+    simulation needs one independent stream per processor plus streams
+    for every adversary, all derived reproducibly from a single root
+    seed.  Splitting derives a statistically independent child stream;
+    the parent stream is advanced by the split so parent and child never
+    collide. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed.  Distinct seeds
+    give (with overwhelming probability) non-overlapping streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent duplicate of the current state: both the
+    copy and the original will produce the same future outputs.  Used to
+    snapshot randomness when forking speculative executions. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val split : t -> t
+(** [split t] derives a child generator and advances [t]. *)
+
+val bool : t -> bool
+(** Unbiased random bit. *)
+
+val bits : t -> int
+(** 30 uniform random bits, as a non-negative [int]. *)
+
+val int_below : t -> int -> int
+(** [int_below t bound] is uniform on [0, bound); requires [bound > 0].
+    Uses rejection sampling, so it is exactly uniform. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val int64_seed_of_int : int -> int64
+(** Convenience: expand an [int] seed into a well-mixed 64-bit seed. *)

@@ -1,0 +1,1 @@
+lib/protocols/ben_or.ml: Dsim Format Int List Map Option Printf Prng String Tally

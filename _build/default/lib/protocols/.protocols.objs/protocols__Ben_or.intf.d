@@ -1,0 +1,1 @@
+lib/protocols/ben_or.mli: Dsim

@@ -1,0 +1,1 @@
+lib/protocols/bracha.ml: Dsim Format Int List Map Option Printf Prng Reliable_broadcast String

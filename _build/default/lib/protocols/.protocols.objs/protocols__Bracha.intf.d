@@ -1,0 +1,1 @@
+lib/protocols/bracha.mli: Dsim Reliable_broadcast

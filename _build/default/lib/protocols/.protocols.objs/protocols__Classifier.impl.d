@@ -1,0 +1,1 @@
+lib/protocols/classifier.ml: Array Dsim Format Hashtbl List Printf String

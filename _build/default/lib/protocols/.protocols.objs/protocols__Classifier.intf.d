@@ -1,0 +1,1 @@
+lib/protocols/classifier.mli: Dsim Format

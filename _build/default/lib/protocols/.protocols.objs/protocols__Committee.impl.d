@@ -1,0 +1,1 @@
+lib/protocols/committee.ml: Array Bracha Dsim List Prng Queue

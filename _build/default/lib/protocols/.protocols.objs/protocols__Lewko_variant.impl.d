@@ -1,0 +1,1 @@
+lib/protocols/lewko_variant.ml: Dsim Format Int List Map Option Printf Prng String Tally Thresholds

@@ -1,0 +1,1 @@
+lib/protocols/lewko_variant.mli: Dsim Prng Thresholds

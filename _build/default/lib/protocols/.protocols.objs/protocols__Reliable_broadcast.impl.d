@@ -1,0 +1,1 @@
+lib/protocols/reliable_broadcast.ml: Int List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/protocols/tally.ml: Int List Map Printf String

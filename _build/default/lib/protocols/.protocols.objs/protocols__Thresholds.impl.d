@@ -1,0 +1,1 @@
+lib/protocols/thresholds.ml: Format Printf

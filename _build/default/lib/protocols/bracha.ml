@@ -1,0 +1,289 @@
+module Int_map = Map.Make (Int)
+
+type vote = Val of bool | Dec of bool
+type message = vote Reliable_broadcast.msg
+
+let tag_of ~round ~phase = (round * 4) + phase
+let round_of_tag tag = tag / 4
+let phase_of_tag tag = tag mod 4
+
+type state = {
+  id : int;
+  n : int;
+  fault_bound : int;
+  input : bool;
+  output : bool option;
+  resets : int;
+  round : int;
+  phase : int;  (* 1..3: the acceptance quorum currently awaited *)
+  x : bool;
+  rbc : vote Reliable_broadcast.t;
+  validated : bool;
+  admitted : vote Int_map.t Int_map.t;  (* tag -> origin -> vote *)
+  quarantine : (int * int * vote) list;  (* (tag, origin, vote), unjustified *)
+  outbox : (int * message) list;
+}
+
+let bit_of_vote = function Val b | Dec b -> b
+
+let quorum state = state.n - state.fault_bound
+
+let admitted_for state tag =
+  Option.value ~default:Int_map.empty (Int_map.find_opt tag state.admitted)
+
+let admitted_count_with_bit state tag bit =
+  Int_map.fold
+    (fun _ vote acc -> if bit_of_vote vote = bit then acc + 1 else acc)
+    (admitted_for state tag) 0
+
+(* Bracha's validation filter, monotone form: can this vote have been
+   produced by a correct processor, given the prior-phase votes this
+   validator has itself admitted so far? *)
+let justified state ~tag ~vote =
+  let round = round_of_tag tag and phase = phase_of_tag tag in
+  match phase with
+  | 1 -> true (* round-r preferences can always come from a coin *)
+  | 2 ->
+      (* The sender saw an (n - t)-subset of phase-1 votes with
+         majority v: needs at least floor((n-t)/2)+1 such votes. *)
+      let v = bit_of_vote vote in
+      let needed = ((state.n - state.fault_bound) / 2) + 1 in
+      admitted_count_with_bit state (tag_of ~round ~phase:1) v >= needed
+  | 3 -> (
+      match vote with
+      | Dec v ->
+          (* The sender saw more than n/2 phase-2 votes for v. *)
+          let needed = (state.n / 2) + 1 in
+          admitted_count_with_bit state (tag_of ~round ~phase:2) v >= needed
+      | Val _ -> true)
+  | _ -> false
+
+let admit state ~tag ~origin ~vote =
+  let per_tag = Int_map.add origin vote (admitted_for state tag) in
+  { state with admitted = Int_map.add tag per_tag state.admitted }
+
+(* Route a fresh RBC acceptance through the filter, then re-examine the
+   quarantine until no more votes become justified (justification is
+   monotone in the admitted sets, so this terminates). *)
+let rec ingest state ~tag ~origin ~vote =
+  if (not state.validated) || justified state ~tag ~vote then
+    let state = admit state ~tag ~origin ~vote in
+    drain_quarantine state
+  else { state with quarantine = (tag, origin, vote) :: state.quarantine }
+
+and drain_quarantine state =
+  let ready, still =
+    List.partition (fun (tag, _, vote) -> justified state ~tag ~vote) state.quarantine
+  in
+  match ready with
+  | [] -> state
+  | _ ->
+      let state = { state with quarantine = still } in
+      List.fold_left
+        (fun s (tag, origin, vote) -> ingest s ~tag ~origin ~vote)
+        state ready
+
+let rbc_broadcast state payload =
+  let tag = tag_of ~round:state.round ~phase:state.phase in
+  let rbc, sends = Reliable_broadcast.broadcast state.rbc ~tag payload in
+  (* Our own broadcast is trivially justified for us. *)
+  { state with rbc; outbox = state.outbox @ sends }
+
+(* Process a completed phase quorum.  [votes] is the admitted
+   (origin, payload) list for the current (round, phase) tag. *)
+let finish_phase state votes rng =
+  let payloads = List.map snd votes in
+  let count p = List.length (List.filter p payloads) in
+  match state.phase with
+  | 1 ->
+      let ones = count (fun v -> bit_of_vote v) in
+      let zeros = count (fun v -> not (bit_of_vote v)) in
+      let x = if ones > zeros then true else false in
+      let state = { state with x; phase = 2 } in
+      rbc_broadcast state (Val x)
+  | 2 ->
+      let half = state.n / 2 in
+      let ones = count (fun v -> bit_of_vote v) in
+      let zeros = count (fun v -> not (bit_of_vote v)) in
+      let payload =
+        if ones > half then Dec true
+        else if zeros > half then Dec false
+        else Val state.x
+      in
+      let state = { state with phase = 3 } in
+      rbc_broadcast state payload
+  | 3 ->
+      let dec_true = count (function Dec true -> true | _ -> false) in
+      let dec_false = count (function Dec false -> true | _ -> false) in
+      let decide_at = (2 * state.fault_bound) + 1 in
+      let adopt_at = state.fault_bound + 1 in
+      let output =
+        match state.output with
+        | Some _ as existing -> existing
+        | None ->
+            if dec_true >= decide_at then Some true
+            else if dec_false >= decide_at then Some false
+            else None
+      in
+      let x =
+        if dec_true >= adopt_at && dec_true >= dec_false then true
+        else if dec_false >= adopt_at then false
+        else Prng.Stream.bool rng
+      in
+      let state = { state with output; x; round = state.round + 1; phase = 1 } in
+      rbc_broadcast state (Val x)
+  | _ -> assert false
+
+let rec advance state rng =
+  let tag = tag_of ~round:state.round ~phase:state.phase in
+  let votes = Int_map.bindings (admitted_for state tag) in
+  if List.length votes >= quorum state then advance (finish_phase state votes rng) rng
+  else state
+
+let init_with ~validated ~n ~t ~id ~input =
+  let state =
+    {
+      id;
+      n;
+      fault_bound = t;
+      input;
+      output = None;
+      resets = 0;
+      round = 1;
+      phase = 1;
+      x = input;
+      rbc = Reliable_broadcast.create ~n ~t ~self:id;
+      validated;
+      admitted = Int_map.empty;
+      quarantine = [];
+      outbox = [];
+    }
+  in
+  rbc_broadcast state (Val input)
+
+let outgoing state = ({ state with outbox = [] }, state.outbox)
+
+let on_deliver state ~src message rng =
+  let rbc, sends, accepted = Reliable_broadcast.receive state.rbc ~src message in
+  let state = { state with rbc; outbox = state.outbox @ sends } in
+  let tag =
+    match message with
+    | Reliable_broadcast.Initial { tag; _ }
+    | Reliable_broadcast.Echo { tag; _ }
+    | Reliable_broadcast.Ready { tag; _ } ->
+        tag
+  in
+  let state =
+    List.fold_left
+      (fun s (origin, vote) -> ingest s ~tag ~origin ~vote)
+      state accepted
+  in
+  advance state rng
+
+(* Like Ben-Or, Bracha has no re-join procedure: restart from input. *)
+let on_reset state =
+  let restarted =
+    init_with ~validated:state.validated ~n:state.n ~t:state.fault_bound ~id:state.id
+      ~input:state.input
+  in
+  { restarted with output = state.output; resets = state.resets + 1 }
+
+let output state = state.output
+
+let observe state =
+  Dsim.Obs.make ~id:state.id ~round:state.round ~estimate:(Some state.x)
+    ~output:state.output ~input:state.input ~resets:state.resets ~phase:state.phase
+
+let vote_fingerprint = function
+  | Val true -> "V1"
+  | Val false -> "V0"
+  | Dec true -> "D1"
+  | Dec false -> "D0"
+
+let state_core state =
+  let bit b = if b then '1' else '0' in
+  let admitted =
+    Int_map.bindings state.admitted
+    |> List.map (fun (tag, votes) ->
+           Printf.sprintf "%d{%s}" tag
+             (Int_map.bindings votes
+             |> List.map (fun (o, v) -> Printf.sprintf "%d%s" o (vote_fingerprint v))
+             |> String.concat ","))
+    |> String.concat ";"
+  in
+  Printf.sprintf "br:%d:%d:%d:%c:%s:%c:%d:%s:A{%s}:Q%d:%d" state.id state.round
+    state.phase (bit state.x)
+    (match state.output with None -> "_" | Some v -> String.make 1 (bit v))
+    (bit state.input) state.resets
+    (Reliable_broadcast.fingerprint vote_fingerprint state.rbc)
+    admitted
+    (List.length state.quarantine)
+    (List.length state.outbox)
+
+let pp_vote ppf v = Format.pp_print_string ppf (vote_fingerprint v)
+
+let pp_message ppf = function
+  | Reliable_broadcast.Initial { tag; payload } ->
+      Format.fprintf ppf "init[%d]%a" tag pp_vote payload
+  | Reliable_broadcast.Echo { origin; tag; payload } ->
+      Format.fprintf ppf "echo[%d@%d]%a" tag origin pp_vote payload
+  | Reliable_broadcast.Ready { origin; tag; payload } ->
+      Format.fprintf ppf "ready[%d@%d]%a" tag origin pp_vote payload
+
+let pp_state ppf state = Dsim.Obs.pp ppf (observe state)
+
+let rewrite_vote vote bit =
+  match vote with Val _ -> Val bit | Dec _ -> Dec bit
+
+let protocol ?(validated = false) () =
+  {
+    Dsim.Protocol.name = (if validated then "bracha-validated" else "bracha");
+    init = (fun ~n ~t ~id ~input -> init_with ~validated ~n ~t ~id ~input);
+    outgoing;
+    on_deliver;
+    on_reset;
+    output;
+    observe;
+    message_bit =
+      (function
+      | Reliable_broadcast.Initial { payload; _ }
+      | Reliable_broadcast.Echo { payload; _ }
+      | Reliable_broadcast.Ready { payload; _ } ->
+          Some (bit_of_vote payload));
+    message_round =
+      (function
+      | Reliable_broadcast.Initial { tag; _ }
+      | Reliable_broadcast.Echo { tag; _ }
+      | Reliable_broadcast.Ready { tag; _ } ->
+          Some (round_of_tag tag));
+    message_origin =
+      (function
+      | Reliable_broadcast.Initial _ -> None
+      | Reliable_broadcast.Echo { origin; _ } | Reliable_broadcast.Ready { origin; _ } ->
+          Some origin);
+    rewrite_bit =
+      (fun message bit ->
+        match message with
+        | Reliable_broadcast.Initial i ->
+            Some (Reliable_broadcast.Initial { i with payload = rewrite_vote i.payload bit })
+        | Reliable_broadcast.Echo e ->
+            Some (Reliable_broadcast.Echo { e with payload = rewrite_vote e.payload bit })
+        | Reliable_broadcast.Ready r ->
+            Some (Reliable_broadcast.Ready { r with payload = rewrite_vote r.payload bit }));
+    state_core;
+    props =
+      {
+        Dsim.Protocol.forgetful = false;
+        fully_communicative = false;
+        crash_resilience = (fun n -> (n - 1) / 3);
+        byzantine_resilience = (fun n -> (n - 1) / 3);
+        reset_resilience = (fun _ -> 0);
+      };
+    pp_message;
+    pp_state;
+  }
+
+let round_of_state state = state.round
+let phase_of_state state = state.phase
+let estimate_of_state state = state.x
+let quarantined_count state = List.length state.quarantine

@@ -1,0 +1,116 @@
+type verdict = No_counterexample of int | Counterexample of string
+
+type report = {
+  protocol_name : string;
+  declared_forgetful : bool;
+  declared_fully_communicative : bool;
+  forgetful : verdict;
+  fully_communicative : verdict;
+}
+
+(* The conditioning data of Definition 15: the input bit, the messages
+   delivered since the last message-emitting send (tracked by the
+   engine), and the estimate as a stand-in for the coins flipped since
+   then (every protocol here folds its per-round randomness into the
+   estimate before sending). *)
+let forgetful_core config p =
+  let obs = Dsim.Engine.observe config p in
+  Printf.sprintf "in=%d x=%s recent=[%s]"
+    (if obs.Dsim.Obs.input then 1 else 0)
+    (match obs.Dsim.Obs.estimate with
+    | None -> "_"
+    | Some true -> "1"
+    | Some false -> "0")
+    (String.concat "|" (Dsim.Engine.recent_deliveries config p))
+
+(* Canonical rendering of what a processor would send next: flush its
+   outbox on a copy of the configuration and print the messages. *)
+let next_sends config p =
+  let protocol = Dsim.Engine.protocol config in
+  let _, messages = protocol.Dsim.Protocol.outgoing (Dsim.Engine.state config p) in
+  messages
+  |> List.map (fun (dst, m) ->
+         Format.asprintf "%d<=%a" dst protocol.Dsim.Protocol.pp_message m)
+  |> String.concat " "
+
+let check protocol ~n ~t ~seeds ~windows_per_run =
+  let core_table : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let forgetful_witness = ref None in
+  let fully_comm_witness = ref None in
+  let trials = ref 0 in
+  let inspect config =
+    for p = 0 to n - 1 do
+      incr trials;
+      let core = forgetful_core config p in
+      let sends = next_sends config p in
+      (* Forgetful check: same core must imply same next sends. *)
+      (match Hashtbl.find_opt core_table core with
+      | None -> Hashtbl.add core_table core sends
+      | Some previous ->
+          if previous <> sends && !forgetful_witness = None then
+            forgetful_witness :=
+              Some
+                (Printf.sprintf
+                   "core {%s} emitted both {%s} and {%s}" core previous sends));
+      (* Fully-communicative check: a processor whose outbox is
+         non-empty must address all n processors. *)
+      if sends <> "" && !fully_comm_witness = None then begin
+        let recipients =
+          let _, messages =
+            (Dsim.Engine.protocol config).Dsim.Protocol.outgoing
+              (Dsim.Engine.state config p)
+          in
+          List.sort_uniq compare (List.map fst messages)
+        in
+        if List.length recipients <> n then
+          fully_comm_witness :=
+            Some
+              (Printf.sprintf "p%d is sending to %d of %d processors" p
+                 (List.length recipients) n)
+      end
+    done
+  in
+  List.iter
+    (fun seed ->
+      (* Alternate full-delivery windows with silencing windows to vary
+         the histories feeding the core table. *)
+      let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+      let config = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+      inspect config;
+      for w = 1 to windows_per_run do
+        let silenced = if w mod 2 = 0 then List.init t (fun i -> (w + i) mod n) else [] in
+        Dsim.Engine.apply_window config (Dsim.Window.uniform ~n ~silenced ());
+        inspect config
+      done)
+    seeds;
+  let verdict witness =
+    match !witness with
+    | None -> No_counterexample !trials
+    | Some w -> Counterexample w
+  in
+  {
+    protocol_name = protocol.Dsim.Protocol.name;
+    declared_forgetful = protocol.Dsim.Protocol.props.Dsim.Protocol.forgetful;
+    declared_fully_communicative =
+      protocol.Dsim.Protocol.props.Dsim.Protocol.fully_communicative;
+    forgetful = verdict forgetful_witness;
+    fully_communicative = verdict fully_comm_witness;
+  }
+
+let consistent report =
+  let ok declared = function
+    | No_counterexample _ -> true
+    | Counterexample _ -> not declared
+  in
+  ok report.declared_forgetful report.forgetful
+  && ok report.declared_fully_communicative report.fully_communicative
+
+let pp_verdict ppf = function
+  | No_counterexample trials -> Format.fprintf ppf "no counterexample (%d checks)" trials
+  | Counterexample w -> Format.fprintf ppf "counterexample: %s" w
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s:@,  forgetful: declared=%b, %a@,  fully communicative: declared=%b, %a@]"
+    r.protocol_name r.declared_forgetful pp_verdict r.forgetful
+    r.declared_fully_communicative pp_verdict r.fully_communicative

@@ -1,0 +1,158 @@
+type params = {
+  committee_size : int;
+  election_rounds : int;
+  adaptive_attack : bool;
+  seed : int;
+}
+
+let default_params ~n ~seed =
+  let log2n = int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0)) in
+  { committee_size = max 4 (2 * log2n); election_rounds = 3; adaptive_attack = false; seed }
+
+type report = {
+  levels : int;
+  rounds : int;
+  final_committee : int list;
+  final_bad_fraction : float;
+  decision : bool option;
+  valid : bool;
+  hijacked : bool;
+}
+
+let partition ~size members =
+  (* Contiguous groups of [size]; a short tail merges into the previous
+     group so no group is smaller than [size] (except a single group). *)
+  let members = Array.of_list members in
+  let total = Array.length members in
+  let group_count = max 1 (total / size) in
+  List.init group_count (fun g ->
+      let start = g * size in
+      let stop = if g = group_count - 1 then total else start + size in
+      Array.to_list (Array.sub members start (stop - start)))
+
+let bad_fraction ~corrupt group =
+  let bad = List.length (List.filter (fun p -> List.mem p corrupt) group) in
+  float_of_int bad /. float_of_int (max 1 (List.length group))
+
+(* One committee's election: the [elect] members who advance.  An
+   honest committee elects uniformly; a committee with >= 1/3 corrupt
+   members is adversary-controlled and advances corrupt members first. *)
+let elect ~corrupt ~elect_count rng group =
+  let size = List.length group in
+  let elect_count = min elect_count size in
+  if bad_fraction ~corrupt group < 1.0 /. 3.0 then begin
+    let arr = Array.of_list group in
+    Prng.Stream.shuffle rng arr;
+    Array.to_list (Array.sub arr 0 elect_count)
+  end
+  else begin
+    let bad, good = List.partition (fun p -> List.mem p corrupt) group in
+    let chosen = bad @ good in
+    List.filteri (fun i _ -> i < elect_count) chosen
+  end
+
+(* The final committee really runs Bracha on the engine; corrupt
+   members vote the opposite of the honest majority to maximize their
+   influence. *)
+let run_final_committee params ~corrupt ~inputs committee =
+  let size = List.length committee in
+  let arr = Array.of_list committee in
+  let honest_inputs = List.filter (fun p -> not (List.mem p corrupt)) committee in
+  let honest_ones =
+    List.length (List.filter (fun p -> inputs.(p)) honest_inputs)
+  in
+  let honest_majority = 2 * honest_ones >= List.length honest_inputs in
+  let member_inputs =
+    Array.map
+      (fun p -> if List.mem p corrupt then not honest_majority else inputs.(p))
+      arr
+  in
+  let t = max 0 ((size - 1) / 3) in
+  let protocol = Bracha.protocol () in
+  let config =
+    Dsim.Engine.init ~protocol ~n:size ~fault_bound:t ~inputs:member_inputs
+      ~seed:params.seed ()
+  in
+  (* Drive the run with a local lockstep agenda (inlined rather than
+     using the adversary library, which depends on this one). *)
+  let queue = Queue.create () in
+  let strategy cfg =
+    if Queue.is_empty queue then begin
+      let sends = List.init size (fun p -> Dsim.Step.Send p) in
+      let delivers =
+        List.map
+          (fun id -> Dsim.Step.Deliver id)
+          (Dsim.Mailbox.pending_ids (Dsim.Engine.mailbox cfg))
+      in
+      List.iter (fun s -> Queue.add s queue) (sends @ delivers)
+    end;
+    if Queue.is_empty queue then None else Some (Queue.pop queue)
+  in
+  let outcome =
+    Dsim.Runner.run_steps config ~strategy ~max_steps:2_000_000 ~stop:`First_decision
+  in
+  let rounds =
+    (* Bracha rounds completed, read off the first decider's round. *)
+    match outcome.Dsim.Runner.first_decision with
+    | Some (pid, _, _, _, _) ->
+        (Dsim.Engine.observe config pid).Dsim.Obs.round
+    | None -> 0
+  in
+  let decision =
+    match outcome.Dsim.Runner.decided with [] -> None | (_, v) :: _ -> Some v
+  in
+  (decision, rounds)
+
+let run params ~n ~corrupt ~inputs =
+  if Array.length inputs <> n then invalid_arg "Committee.run: |inputs| <> n";
+  let rng = Prng.Stream.root params.seed in
+  let rec build level members rounds =
+    if List.length members <= params.committee_size then (level, members, rounds)
+    else
+      let groups = partition ~size:params.committee_size members in
+      let elect_count = max 1 (params.committee_size / 2) in
+      let survivors =
+        List.concat_map (fun g -> elect ~corrupt ~elect_count rng g) groups
+      in
+      (* Guard against a stuck level (can only happen with degenerate
+         sizes): force progress by truncation. *)
+      let survivors =
+        if List.length survivors >= List.length members then
+          List.filteri (fun i _ -> i < List.length members / 2) survivors
+        else survivors
+      in
+      build (level + 1) survivors (rounds + params.election_rounds)
+  in
+  let levels, final_committee, election_cost = build 0 (List.init n (fun i -> i)) 0 in
+  let corrupt =
+    if params.adaptive_attack then
+      (* The adaptive adversary waits for the final committee to be
+         determined, then corrupts exactly its members. *)
+      final_committee
+    else corrupt
+  in
+  let final_bad = bad_fraction ~corrupt final_committee in
+  let hijacked = final_bad >= 1.0 /. 3.0 in
+  let decision, final_rounds =
+    if hijacked then
+      (* The adversary dictates: output the value fewer honest
+         processors started with (worst case: possibly invalid). *)
+      let ones = Array.fold_left (fun a b -> if b then a + 1 else a) 0 inputs in
+      let minority = not (2 * ones >= n) in
+      (Some minority, 1)
+    else run_final_committee params ~corrupt ~inputs final_committee
+  in
+  let valid =
+    match decision with
+    | None -> true
+    | Some v -> Array.exists (fun input -> input = v) inputs
+  in
+  {
+    levels;
+    rounds = election_cost + final_rounds;
+    final_committee;
+    final_bad_fraction = final_bad;
+    decision;
+    valid;
+    hijacked;
+  }

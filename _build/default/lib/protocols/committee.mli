@@ -1,0 +1,50 @@
+(** A structural reproduction of the fast-but-imperfect committee
+    algorithm of Kapron, Kempe, King, Saia and Sanwalani (SODA 2008),
+    the contrast the paper's introduction draws against.
+
+    The real algorithm iteratively divides the processors into small
+    committees that run a slow election protocol to select random
+    subsets continuing into new committees; a single final committee
+    runs Bracha's algorithm and informs everyone.  It is polylog-round
+    and tolerates [t < (1/3 - eps) n] *non-adaptive* Byzantine failures,
+    but has a non-zero probability of an invalid result (the final
+    committee may be mostly faulty), and an *adaptive* adversary defeats
+    it outright by corrupting the final committee once it is known.
+
+    We reproduce the committee tree and its failure probability at the
+    structural level: elections inside a committee with fewer than one
+    third corrupt members select uniformly; elections in a corrupted
+    committee are biased by the adversary toward corrupt members.  The
+    final committee genuinely runs our {!Bracha} implementation on the
+    simulation engine.  Per-level election cost is charged as a fixed
+    number of rounds (the election sub-protocol itself is out of scope —
+    recorded as a substitution in DESIGN.md). *)
+
+type params = {
+  committee_size : int;  (** Target committee size (≈ polylog n). *)
+  election_rounds : int;  (** Rounds charged per tree level. *)
+  adaptive_attack : bool;
+      (** Let the adversary corrupt the final committee after it is
+          determined — the attack the paper says breaks this approach. *)
+  seed : int;
+}
+
+val default_params : n:int -> seed:int -> params
+(** [committee_size = max 4 (2 * ceil (log2 n))], 3 election rounds,
+    no adaptive attack. *)
+
+type report = {
+  levels : int;  (** Depth of the committee tree. *)
+  rounds : int;  (** Total rounds charged, including the final run. *)
+  final_committee : int list;
+  final_bad_fraction : float;
+  decision : bool option;  (** [None]: the final run failed to decide. *)
+  valid : bool;  (** Decision equals some processor's input. *)
+  hijacked : bool;
+      (** The adversary controlled the final committee and dictated the
+          result. *)
+}
+
+val run : params -> n:int -> corrupt:int list -> inputs:bool array -> report
+(** Simulate one execution.  [corrupt] is the non-adaptive Byzantine
+    set, fixed before the protocol starts. *)

@@ -1,0 +1,137 @@
+module Int_map = Map.Make (Int)
+
+module Key = struct
+  type t = int * int (* origin, tag *)
+
+  let compare = compare
+end
+
+module Key_map = Map.Make (Key)
+
+type 'p msg =
+  | Initial of { tag : int; payload : 'p }
+  | Echo of { origin : int; tag : int; payload : 'p }
+  | Ready of { origin : int; tag : int; payload : 'p }
+
+type 'p inst = {
+  echoes : 'p Int_map.t;  (* per echoing sender *)
+  readies : 'p Int_map.t;
+  echo_sent : bool;
+  ready_sent : bool;
+  accepted : 'p option;
+}
+
+let inst_empty =
+  { echoes = Int_map.empty; readies = Int_map.empty; echo_sent = false;
+    ready_sent = false; accepted = None }
+
+type 'p t = {
+  n : int;
+  fault_bound : int;
+  self : int;
+  instances : 'p inst Key_map.t;
+  started : int list;  (* tags this processor already originated *)
+}
+
+let create ~n ~t ~self = { n; fault_bound = t; self; instances = Key_map.empty; started = [] }
+
+let to_all t message = List.init t.n (fun dst -> (dst, message))
+
+let instance t key = Option.value ~default:inst_empty (Key_map.find_opt key t.instances)
+
+let set_instance t key inst = { t with instances = Key_map.add key inst t.instances }
+
+let broadcast t ~tag payload =
+  if List.mem tag t.started then (t, [])
+  else
+    let t = { t with started = tag :: t.started } in
+    (t, to_all t (Initial { tag; payload }))
+
+(* Count entries in a sender map that carry exactly this payload. *)
+let matching payload map =
+  Int_map.fold (fun _ p acc -> if p = payload then acc + 1 else acc) map 0
+
+let echo_quorum t = ((t.n + t.fault_bound) / 2) + 1
+let ready_resend t = t.fault_bound + 1
+let accept_quorum t = (2 * t.fault_bound) + 1
+
+(* Evaluate an instance's thresholds after new evidence arrived; returns
+   the updated instance, messages to send, and the acceptance if new. *)
+let evaluate t key inst payload =
+  let origin, tag = key in
+  let sends = ref [] in
+  let inst =
+    if (not inst.ready_sent)
+       && (matching payload inst.echoes >= echo_quorum t
+          || matching payload inst.readies >= ready_resend t)
+    then begin
+      sends := to_all t (Ready { origin; tag; payload });
+      { inst with ready_sent = true }
+    end
+    else inst
+  in
+  let accepted_now =
+    if inst.accepted = None && matching payload inst.readies >= accept_quorum t then
+      Some payload
+    else None
+  in
+  let inst =
+    match accepted_now with None -> inst | Some p -> { inst with accepted = Some p }
+  in
+  (inst, !sends, accepted_now)
+
+let receive t ~src message =
+  match message with
+  | Initial { tag; payload } ->
+      (* Only the claimed origin's own channel is trusted for Initial:
+         the sender *is* the origin (dedicated channels). *)
+      let key = (src, tag) in
+      let inst = instance t key in
+      if inst.echo_sent then (set_instance t key inst, [], [])
+      else
+        let inst = { inst with echo_sent = true } in
+        (set_instance t key inst, to_all t (Echo { origin = src; tag; payload }), [])
+  | Echo { origin; tag; payload } ->
+      let key = (origin, tag) in
+      let inst = instance t key in
+      if Int_map.mem src inst.echoes then (t, [], [])
+      else
+        let inst = { inst with echoes = Int_map.add src payload inst.echoes } in
+        let inst, sends, accepted_now = evaluate t key inst payload in
+        let t = set_instance t key inst in
+        ( t,
+          sends,
+          match accepted_now with None -> [] | Some p -> [ (origin, p) ] )
+  | Ready { origin; tag; payload } ->
+      let key = (origin, tag) in
+      let inst = instance t key in
+      if Int_map.mem src inst.readies then (t, [], [])
+      else
+        let inst = { inst with readies = Int_map.add src payload inst.readies } in
+        let inst, sends, accepted_now = evaluate t key inst payload in
+        let t = set_instance t key inst in
+        ( t,
+          sends,
+          match accepted_now with None -> [] | Some p -> [ (origin, p) ] )
+
+let accepted t ~tag =
+  Key_map.fold
+    (fun (origin, key_tag) inst acc ->
+      match inst.accepted with
+      | Some payload when key_tag = tag -> (origin, payload) :: acc
+      | _ -> acc)
+    t.instances []
+  |> List.sort compare
+
+let accepted_count t ~tag = List.length (accepted t ~tag)
+
+let fingerprint pp t =
+  Key_map.bindings t.instances
+  |> List.map (fun ((origin, tag), inst) ->
+         Printf.sprintf "(%d,%d)e%dr%d%s%s%s" origin tag
+           (Int_map.cardinal inst.echoes)
+           (Int_map.cardinal inst.readies)
+           (if inst.echo_sent then "E" else "")
+           (if inst.ready_sent then "R" else "")
+           (match inst.accepted with None -> "" | Some p -> "A" ^ pp p))
+  |> String.concat ";"

@@ -1,0 +1,48 @@
+(** Bracha's reliable broadcast primitive (PODC 1984), the substrate of
+    his [t < n/3]-resilient agreement protocol.
+
+    For each broadcast instance — identified by (origin, tag) — every
+    processor runs the echo/ready state machine:
+
+    - on the origin's [Initial] message: send [Echo] to all;
+    - on more than [(n + t) / 2] matching [Echo]s: send [Ready] to all;
+    - on [t + 1] matching [Ready]s (if not yet sent): send [Ready];
+    - on [2t + 1] matching [Ready]s: accept the payload.
+
+    With [t < n/3] Byzantine processors this guarantees that correct
+    processors accept at most one payload per instance and that if any
+    correct processor accepts, all eventually do — equivocation is
+    neutralized, which is exactly the power the strongly adaptive
+    adversary is noted to lack.
+
+    The module is a value-level component meant to be embedded in a
+    protocol state; all operations are pure. *)
+
+type 'p t
+(** One processor's bookkeeping across all instances it has seen. *)
+
+type 'p msg =
+  | Initial of { tag : int; payload : 'p }
+  | Echo of { origin : int; tag : int; payload : 'p }
+  | Ready of { origin : int; tag : int; payload : 'p }
+
+val create : n:int -> t:int -> self:int -> 'p t
+
+val broadcast : 'p t -> tag:int -> 'p -> 'p t * (int * 'p msg) list
+(** Start an instance as origin: the [Initial] messages to send.
+    Re-broadcasting a tag already used is ignored (empty sends). *)
+
+val receive :
+  'p t -> src:int -> 'p msg -> 'p t * (int * 'p msg) list * (int * 'p) list
+(** Process an incoming RBC message.  Returns the new state, messages
+    to send, and the list of [(origin, payload)] newly accepted by this
+    call (at most one). *)
+
+val accepted : 'p t -> tag:int -> (int * 'p) list
+(** All [(origin, payload)] pairs accepted so far for a tag,
+    ascending origin. *)
+
+val accepted_count : 'p t -> tag:int -> int
+
+val fingerprint : ('p -> string) -> 'p t -> string
+(** Canonical serialization for state digests. *)

@@ -1,0 +1,1 @@
+lib/shmem/shared_coin.ml: Array List Option Prng Registers

@@ -1,0 +1,1 @@
+lib/shmem/shared_coin.mli:

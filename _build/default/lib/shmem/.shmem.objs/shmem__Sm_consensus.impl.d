@@ -1,0 +1,1 @@
+lib/shmem/sm_consensus.ml: Array Hashtbl List Prng Registers Shared_coin

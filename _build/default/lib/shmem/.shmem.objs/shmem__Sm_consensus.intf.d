@@ -1,0 +1,1 @@
+lib/shmem/sm_consensus.mli: Shared_coin

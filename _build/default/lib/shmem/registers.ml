@@ -1,0 +1,28 @@
+type t = {
+  values : int array;
+  op_counts : int array;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Registers.create: n must be positive";
+  { values = Array.make n 0; op_counts = Array.make n 0 }
+
+let count t p = t.op_counts.(p) <- t.op_counts.(p) + 1
+
+let read t ~reader ~owner =
+  count t reader;
+  t.values.(owner)
+
+let write t ~writer value =
+  count t writer;
+  t.values.(writer) <- value
+
+let peek t owner = t.values.(owner)
+
+let sum t = Array.fold_left ( + ) 0 t.values
+
+let operations t = Array.fold_left ( + ) 0 t.op_counts
+
+let operations_of t p = t.op_counts.(p)
+
+let copy t = { values = Array.copy t.values; op_counts = Array.copy t.op_counts }

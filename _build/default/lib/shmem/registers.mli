@@ -1,0 +1,33 @@
+(** Single-writer multi-reader atomic registers with operation
+    accounting.
+
+    The substrate for the shared-memory results the paper's related
+    work discusses (Aspnes [3]; Attiya and Censor [5] prove tight
+    total-step bounds for randomized consensus here).  Each processor
+    owns one integer register; reads and writes are atomic and counted
+    per processor, since step complexity *is* the measured quantity. *)
+
+type t
+
+val create : n:int -> t
+
+val read : t -> reader:int -> owner:int -> int
+(** Atomic read of [owner]'s register; counted against [reader]. *)
+
+val write : t -> writer:int -> int -> unit
+(** Atomic write of the writer's own register; counted.  Writing
+    another processor's register raises (single-writer). *)
+
+val peek : t -> int -> int
+(** Uncounted read for adversaries and test oracles (the adversary has
+    full information for free). *)
+
+val sum : t -> int
+(** Uncounted sum of all registers. *)
+
+val operations : t -> int
+(** Total counted operations across processors. *)
+
+val operations_of : t -> int -> int
+
+val copy : t -> t

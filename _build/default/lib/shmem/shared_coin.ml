@@ -1,0 +1,119 @@
+type scheduler = Round_robin | Random of int | Stalling
+
+type result = {
+  outputs : bool option array;
+  agreed : bool;
+  total_steps : int;
+  steps_per_processor : float;
+  max_abs_sum : int;
+}
+
+(* Per-processor program counter: either about to flip-and-write, or
+   mid-collect with an index and a running partial sum.  Collects are
+   amortized — one every [collect_every] flips — which is what brings
+   the total work down to O(n^2) (collecting after every flip would
+   cost O(n^3); cf. Bracha-Rachman / Attiya-Censor). *)
+type phase =
+  | Flip
+  | Collect of { next : int; partial : int }
+
+type pstate = {
+  mutable phase : phase;
+  mutable net : int;  (* this processor's net contribution *)
+  mutable flips_since_collect : int;
+  mutable output : bool option;
+}
+
+let run ?collect_every ~n ~threshold_factor ~seed ~scheduler ~max_steps () =
+  if n <= 0 then invalid_arg "Shared_coin.run: n must be positive";
+  let collect_every = Option.value ~default:(max 1 (n / 4)) collect_every in
+  let registers = Registers.create ~n in
+  let root = Prng.Stream.root seed in
+  let rngs = Array.init n (fun i -> Prng.Stream.derive root i) in
+  let scheduler_rng = Prng.Stream.derive root (n + 1) in
+  let threshold =
+    max 1 (int_of_float (ceil (threshold_factor *. float_of_int n)))
+  in
+  let procs =
+    Array.init n (fun _ ->
+        { phase = Flip; net = 0; flips_since_collect = 0; output = None })
+  in
+  let unfinished () =
+    Array.to_list procs
+    |> List.mapi (fun p s -> (p, s))
+    |> List.filter_map (fun (p, s) -> if s.output = None then Some p else None)
+  in
+  let max_abs = ref 0 in
+  (* One atomic step of processor p. *)
+  let step p =
+    let s = procs.(p) in
+    match s.phase with
+    | Flip ->
+        let delta = if Prng.Stream.bool rngs.(p) then 1 else -1 in
+        s.net <- s.net + delta;
+        Registers.write registers ~writer:p s.net;
+        max_abs := max !max_abs (abs (Registers.sum registers));
+        s.flips_since_collect <- s.flips_since_collect + 1;
+        if s.flips_since_collect >= collect_every then begin
+          s.flips_since_collect <- 0;
+          s.phase <- Collect { next = 0; partial = 0 }
+        end
+    | Collect { next; partial } ->
+        let partial = partial + Registers.read registers ~reader:p ~owner:next in
+        if next + 1 < n then s.phase <- Collect { next = next + 1; partial }
+        else begin
+          s.phase <- Flip;
+          if abs partial >= threshold then s.output <- Some (partial > 0)
+        end
+  in
+  let pick_round_robin =
+    let cursor = ref 0 in
+    fun candidates ->
+      let k = List.length candidates in
+      let choice = List.nth candidates (!cursor mod k) in
+      incr cursor;
+      choice
+  in
+  let pick candidates =
+    match scheduler with
+    | Round_robin -> pick_round_robin candidates
+    | Random _ ->
+        List.nth candidates (Prng.Stream.int_below scheduler_rng (List.length candidates))
+    | Stalling ->
+        (* Prefer a collector that is far from finishing; otherwise any
+           flipper (their coin is unknown, so stalling them is the only
+           lever: keep the race slow and collects stale). *)
+        let score p =
+          match procs.(p).phase with
+          | Collect { next; _ } -> next (* earlier in collect = slower to finish *)
+          | Flip -> n
+        in
+        List.fold_left
+          (fun best p -> if score p < score best then p else best)
+          (List.hd candidates) candidates
+  in
+  let rec loop () =
+    if Registers.operations registers >= max_steps then ()
+    else
+      match unfinished () with
+      | [] -> ()
+      | candidates ->
+          step (pick candidates);
+          loop ()
+  in
+  loop ();
+  let outputs = Array.map (fun s -> s.output) procs in
+  let finishing = Array.to_list outputs |> List.filter_map (fun o -> o) in
+  let agreed =
+    match finishing with
+    | [] -> true
+    | first :: rest -> List.for_all (fun v -> v = first) rest
+  in
+  let total_steps = Registers.operations registers in
+  {
+    outputs;
+    agreed;
+    total_steps;
+    steps_per_processor = float_of_int total_steps /. float_of_int n;
+    max_abs_sum = !max_abs;
+  }

@@ -1,0 +1,52 @@
+(** The counter-race weak shared coin (Aspnes–Herlihy style) over
+    single-writer registers, against an adversarial scheduler.
+
+    Each processor alternates between (a) flipping a local coin and
+    adding ±1 to its own register, and (b) collecting — reading all [n]
+    registers one step at a time; when a collect shows total net votes
+    [|sum| >= threshold_factor * n], the processor outputs the sign.
+
+    With [threshold_factor] a constant [K], the random walk needs
+    [Theta((Kn)^2)] flips to escape [±Kn], spread over [n] processors
+    with [n]-step collects: total step complexity [Theta(n^2)] per
+    unit of [K^2] — the shape Attiya and Censor prove tight [5].  The
+    coin is *weak*: all processors agree on the output with constant
+    probability bounded away from 1/2 regardless of scheduling, because
+    once one processor sees [|sum| >= Kn] no later collect can see the
+    opposite threshold until the walk crosses [2Kn] more steps...
+    which the adversary can only cause by scheduling [Omega(Kn)] more
+    flips, each a fair coin.
+
+    The scheduler decides which processor takes the next atomic step,
+    with full information (it can inspect the registers for free). *)
+
+type scheduler =
+  | Round_robin
+  | Random of int  (** Uniform among unfinished processors (seed). *)
+  | Stalling
+      (** Full-information attack: prefer to schedule processors whose
+          pending write pushes the race back toward zero, and among
+          collectors the ones farthest from finishing, dragging the
+          race out. *)
+
+type result = {
+  outputs : bool option array;  (** Per processor; [None] = never finished. *)
+  agreed : bool;  (** All finishing processors output the same sign. *)
+  total_steps : int;  (** Counted register operations. *)
+  steps_per_processor : float;
+  max_abs_sum : int;  (** How far the race wandered. *)
+}
+
+val run :
+  ?collect_every:int ->
+  n:int ->
+  threshold_factor:float ->
+  seed:int ->
+  scheduler:scheduler ->
+  max_steps:int ->
+  unit ->
+  result
+(** Runs until every processor has output or [max_steps] counted
+    operations elapse.  [collect_every] (default [n/4]) is the number
+    of flips between collects — the amortization that makes total work
+    [O(n^2)] rather than [O(n^3)]. *)

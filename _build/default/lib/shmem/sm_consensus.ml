@@ -1,0 +1,253 @@
+type scheduler = Shared_coin.scheduler
+
+type result = {
+  outputs : bool option array;
+  agreed : bool;
+  valid : bool;
+  rounds : int;
+  total_steps : int;
+  coin_rounds : int;
+}
+
+(* Register encoding: 0 = nothing published; positive = active at
+   (round, preference) as round * 2 + bit; negative = decided with
+   preference (-1 = decided 0, -2 = decided 1).  A decided processor's
+   register must keep satisfying everyone's agreement window forever,
+   hence the dedicated marker. *)
+type entry = Active of int * bool | Decided_entry of bool
+
+let encode ~round ~pref = (round * 2) + if pref then 1 else 0
+let encode_decided pref = if pref then -2 else -1
+
+let decode value =
+  if value = 0 then None
+  else if value < 0 then Some (Decided_entry (value = -2))
+  else Some (Active (value / 2, value land 1 = 1))
+
+(* One shared-coin instance (per consensus round): the counter-race of
+   {!Shared_coin}, stepped one register operation at a time by whichever
+   processor the scheduler runs. *)
+type coin_phase = Coin_flip | Coin_collect of { next : int; partial : int }
+
+type coin = {
+  registers : Registers.t;
+  phase : coin_phase array;
+  net : int array;
+  flips : int array;
+  output : bool option array;
+}
+
+let make_coin ~n =
+  {
+    registers = Registers.create ~n;
+    phase = Array.make n Coin_flip;
+    net = Array.make n 0;
+    flips = Array.make n 0;
+    output = Array.make n None;
+  }
+
+(* One step of processor p in the coin; returns its output once known. *)
+let coin_step coin ~n ~p ~rng =
+  let collect_every = max 1 (n / 4) in
+  let threshold = n in
+  match coin.output.(p) with
+  | Some _ as out -> out
+  | None -> (
+      match coin.phase.(p) with
+      | Coin_flip ->
+          let delta = if Prng.Stream.bool rng then 1 else -1 in
+          coin.net.(p) <- coin.net.(p) + delta;
+          Registers.write coin.registers ~writer:p coin.net.(p);
+          coin.flips.(p) <- coin.flips.(p) + 1;
+          if coin.flips.(p) >= collect_every then begin
+            coin.flips.(p) <- 0;
+            coin.phase.(p) <- Coin_collect { next = 0; partial = 0 }
+          end;
+          None
+      | Coin_collect { next; partial } ->
+          let partial = partial + Registers.read coin.registers ~reader:p ~owner:next in
+          if next + 1 < n then begin
+            coin.phase.(p) <- Coin_collect { next = next + 1; partial };
+            None
+          end
+          else begin
+            coin.phase.(p) <- Coin_flip;
+            if abs partial >= threshold then coin.output.(p) <- Some (partial > 0);
+            coin.output.(p)
+          end)
+
+type phase =
+  | Publish
+  | Collect of { next : int; seen : entry option array }
+  | Coin  (* running the round's shared coin *)
+  | Announce  (* write the decided marker, then stop *)
+  | Done
+
+type pstate = {
+  mutable phase : phase;
+  mutable round : int;
+  mutable pref : bool;
+  mutable output : bool option;
+}
+
+let run ~n ~inputs ~seed ~scheduler ~max_steps () =
+  if Array.length inputs <> n then invalid_arg "Sm_consensus.run: |inputs| <> n";
+  let registers = Registers.create ~n in
+  let root = Prng.Stream.root seed in
+  let rngs = Array.init n (fun i -> Prng.Stream.derive root i) in
+  let scheduler_rng = Prng.Stream.derive root (n + 1) in
+  let coins : (int, coin) Hashtbl.t = Hashtbl.create 8 in
+  let coin_for round =
+    match Hashtbl.find_opt coins round with
+    | Some c -> c
+    | None ->
+        let c = make_coin ~n in
+        Hashtbl.add coins round c;
+        c
+  in
+  let procs =
+    Array.init n (fun p ->
+        { phase = Publish; round = 1; pref = inputs.(p); output = None })
+  in
+  let max_round = ref 1 in
+  (* Local evaluation of a completed collect; free (no register ops). *)
+  let evaluate p (seen : entry option array) =
+    let s = procs.(p) in
+    let decide v =
+      s.output <- Some v;
+      s.pref <- v;
+      max_round := max !max_round s.round;
+      s.phase <- Announce
+    in
+    let entries = Array.to_list seen |> List.filter_map (fun x -> x) in
+    let decided_prefs =
+      List.filter_map (function Decided_entry v -> Some v | Active _ -> None) entries
+    in
+    match decided_prefs with
+    | v :: _ ->
+        (* Decide by adoption: someone already decided, and the first
+           decider's agreement window guarantees uniqueness. *)
+        decide v
+    | [] -> (
+        let active =
+          List.filter_map (function Active (r, v) -> Some (r, v) | Decided_entry _ -> None) entries
+        in
+        let maxr = List.fold_left (fun acc (r, _) -> max acc r) s.round active in
+        if s.round < maxr then begin
+          (* Catch up, adopting a maximal-round preference. *)
+          let _, pref = List.find (fun (r, _) -> r = maxr) active in
+          s.round <- maxr;
+          s.pref <- pref;
+          s.phase <- Publish
+        end
+        else begin
+          let current = List.filter (fun (r, _) -> r = s.round) active in
+          let all_same l =
+            match l with
+            | [] -> None
+            | (_, v) :: rest ->
+                if List.for_all (fun (_, w) -> w = v) rest then Some v else None
+          in
+          (* Deciding requires seeing EVERY processor inside the
+             two-round agreement window with the same preference — a
+             processor racing ahead alone must not decide off its own
+             register. *)
+          let decision =
+            if
+              List.length active = n
+              && List.for_all (fun (r, _) -> r >= s.round - 1) active
+            then all_same active
+            else None
+          in
+          match decision with
+          | Some v -> decide v
+          | None -> (
+              match all_same current with
+              | Some v ->
+                  s.pref <- v;
+                  s.round <- s.round + 1;
+                  max_round := max !max_round s.round;
+                  s.phase <- Publish
+              | None -> s.phase <- Coin)
+        end)
+  in
+  let step p =
+    let s = procs.(p) in
+    match s.phase with
+    | Done -> ()
+    | Announce ->
+        Registers.write registers ~writer:p (encode_decided s.pref);
+        s.phase <- Done
+    | Publish ->
+        Registers.write registers ~writer:p (encode ~round:s.round ~pref:s.pref);
+        s.phase <- Collect { next = 0; seen = Array.make n None }
+    | Collect { next; seen } ->
+        seen.(next) <- decode (Registers.read registers ~reader:p ~owner:next);
+        if next + 1 < n then s.phase <- Collect { next = next + 1; seen }
+        else evaluate p seen
+    | Coin -> (
+        match coin_step (coin_for s.round) ~n ~p ~rng:rngs.(p) with
+        | None -> ()
+        | Some v ->
+            s.pref <- v;
+            s.round <- s.round + 1;
+            max_round := max !max_round s.round;
+            s.phase <- Publish)
+  in
+  let total_ops () =
+    Registers.operations registers
+    + Hashtbl.fold (fun _ c acc -> acc + Registers.operations c.registers) coins 0
+  in
+  let unfinished () =
+    Array.to_list procs
+    |> List.mapi (fun p s -> (p, s))
+    |> List.filter_map (fun (p, s) -> if s.phase <> Done then Some p else None)
+  in
+  let pick_round_robin =
+    let cursor = ref 0 in
+    fun candidates ->
+      let k = List.length candidates in
+      let choice = List.nth candidates (!cursor mod k) in
+      incr cursor;
+      choice
+  in
+  let pick candidates =
+    match scheduler with
+    | Shared_coin.Round_robin -> pick_round_robin candidates
+    | Shared_coin.Random _ ->
+        List.nth candidates (Prng.Stream.int_below scheduler_rng (List.length candidates))
+    | Shared_coin.Stalling ->
+        (* Prefer the processor farthest behind in rounds: keeps
+           stragglers publishing stale preferences. *)
+        List.fold_left
+          (fun best p -> if procs.(p).round < procs.(best).round then p else best)
+          (List.hd candidates) candidates
+  in
+  let rec loop () =
+    if total_ops () >= max_steps then ()
+    else
+      match unfinished () with
+      | [] -> ()
+      | candidates ->
+          step (pick candidates);
+          loop ()
+  in
+  loop ();
+  let outputs = Array.map (fun s -> s.output) procs in
+  let decisions = Array.to_list outputs |> List.filter_map (fun o -> o) in
+  let agreed =
+    match decisions with
+    | [] -> true
+    | first :: rest -> List.for_all (fun v -> v = first) rest
+  in
+  let valid =
+    List.for_all (fun v -> Array.exists (fun input -> input = v) inputs) decisions
+  in
+  {
+    outputs;
+    agreed;
+    valid;
+    rounds = !max_round;
+    total_steps = total_ops ();
+    coin_rounds = Hashtbl.length coins;
+  }

@@ -1,0 +1,41 @@
+(** Wait-free randomized consensus from single-writer registers and the
+    counter-race shared coin — the Aspnes–Herlihy round structure over
+    the substrate of [3, 5].
+
+    Each processor repeatedly: publishes its (round, preference) in its
+    register; collects everyone's; catches up to the maximum round it
+    saw (adopting that round's preference); and then
+
+    - decides [v] if every processor it saw at rounds [>= r - 1]
+      preferred [v] (the classic two-round agreement window);
+    - advances to round [r + 1] keeping [v] if round-[r] entries all
+      agree on [v];
+    - otherwise flips the round-[r] shared coin (one counter-race
+      instance per round, shared by all processors) and advances.
+
+    Against an adversarial scheduler the coin agreement probability is
+    a constant, so the expected number of rounds is constant and the
+    expected total work is dominated by the coins' [Theta(n^2)].
+
+    Every register operation — the consensus registers and every coin's
+    — is counted; {!result} reports the totals. *)
+
+type scheduler = Shared_coin.scheduler
+
+type result = {
+  outputs : bool option array;
+  agreed : bool;  (** All deciders decided the same value. *)
+  valid : bool;  (** The decision equals some processor's input. *)
+  rounds : int;  (** Highest round reached by any processor. *)
+  total_steps : int;  (** Register operations, consensus + coins. *)
+  coin_rounds : int;  (** Rounds whose shared coin was actually run. *)
+}
+
+val run :
+  n:int ->
+  inputs:bool array ->
+  seed:int ->
+  scheduler:scheduler ->
+  max_steps:int ->
+  unit ->
+  result

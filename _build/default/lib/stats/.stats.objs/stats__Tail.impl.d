@@ -1,0 +1,1 @@
+lib/stats/tail.ml: Array Float

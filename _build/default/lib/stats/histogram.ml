@@ -1,0 +1,58 @@
+type t = {
+  bucket_width : int;
+  mutable buckets : (int, int) Hashtbl.t;
+  mutable count : int;
+}
+
+let create ?(bucket_width = 1) () =
+  if bucket_width <= 0 then invalid_arg "Histogram.create: bucket_width must be positive";
+  { bucket_width; buckets = Hashtbl.create 64; count = 0 }
+
+let add t x =
+  if x < 0 then invalid_arg "Histogram.add: negative observation";
+  let bucket = x / t.bucket_width * t.bucket_width in
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.buckets bucket) in
+  Hashtbl.replace t.buckets bucket (current + 1);
+  t.count <- t.count + 1
+
+let count t = t.count
+let bucket_count t = Hashtbl.length t.buckets
+
+let sorted_buckets t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let density t =
+  let n = float_of_int t.count in
+  List.map (fun (k, v) -> (k, float_of_int v /. n)) (sorted_buckets t)
+
+let survival t =
+  let n = float_of_int t.count in
+  let buckets = sorted_buckets t in
+  (* Walking the buckets in ascending order, the survival value after
+     bucket [k] is the mass strictly above [k]. *)
+  let rec walk remaining = function
+    | [] -> []
+    | (k, v) :: rest ->
+        let remaining = remaining - v in
+        (k, float_of_int remaining /. n) :: walk remaining rest
+  in
+  walk t.count buckets
+
+let quantile t q =
+  if t.count = 0 then invalid_arg "Histogram.quantile: empty histogram";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of range";
+  let target = int_of_float (ceil (q *. float_of_int t.count)) in
+  let target = max target 1 in
+  let rec walk seen = function
+    | [] -> assert false
+    | (k, v) :: rest -> if seen + v >= target then k else walk (seen + v) rest
+  in
+  walk 0 (sorted_buckets t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (k, frac) -> Format.fprintf ppf "%6d | %5.3f@," k frac)
+    (density t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** Fixed-width histograms over non-negative integer observations.
+
+    Used for survival curves: [P(windows to decision > k)] as a function
+    of [k] (experiment E2's series output). *)
+
+type t
+
+val create : ?bucket_width:int -> unit -> t
+(** Mutable histogram; [bucket_width] defaults to 1. *)
+
+val add : t -> int -> unit
+(** Record one observation; negative values are rejected. *)
+
+val count : t -> int
+val bucket_count : t -> int
+
+val density : t -> (int * float) list
+(** [(bucket_start, fraction)] pairs for non-empty buckets, ascending. *)
+
+val survival : t -> (int * float) list
+(** [(k, P[X > k])] for every bucket boundary [k], descending
+    probability.  The final entry has probability 0. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] is the smallest observed value [v] such that at least
+    a [q] fraction of observations are [<= v].  Requires a non-empty
+    histogram and [0 <= q <= 1]. *)
+
+val pp : Format.formatter -> t -> unit

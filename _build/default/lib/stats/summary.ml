@@ -1,0 +1,68 @@
+type t = {
+  count : int;
+  mean : float;
+  m2 : float; (* sum of squared deviations from the running mean *)
+  min_v : float;
+  max_v : float;
+  total : float;
+}
+
+let empty =
+  { count = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity; total = 0.0 }
+
+let add t x =
+  let count = t.count + 1 in
+  let delta = x -. t.mean in
+  let mean = t.mean +. (delta /. float_of_int count) in
+  let m2 = t.m2 +. (delta *. (x -. mean)) in
+  {
+    count;
+    mean;
+    m2;
+    min_v = Float.min t.min_v x;
+    max_v = Float.max t.max_v x;
+    total = t.total +. x;
+  }
+
+let add_int t n = add t (float_of_int n)
+
+let of_list xs = List.fold_left add empty xs
+let of_int_list xs = List.fold_left add_int empty xs
+
+let count t = t.count
+let mean t = if t.count = 0 then nan else t.mean
+let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+let stddev t = sqrt (variance t)
+let min_value t = if t.count = 0 then nan else t.min_v
+let max_value t = if t.count = 0 then nan else t.max_v
+let total t = t.total
+
+let std_error t =
+  if t.count < 2 then nan else stddev t /. sqrt (float_of_int t.count)
+
+let ci95_half_width t = 1.96 *. std_error t
+
+(* Chan et al. parallel-merge formulas. *)
+let merge a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else
+    let count = a.count + b.count in
+    let fa = float_of_int a.count and fb = float_of_int b.count in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. fb /. float_of_int count) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int count) in
+    {
+      count;
+      mean;
+      m2;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+      total = a.total +. b.total;
+    }
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.count (mean t)
+      (stddev t) t.min_v t.max_v

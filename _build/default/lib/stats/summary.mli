@@ -1,0 +1,42 @@
+(** Streaming univariate summary statistics (Welford's algorithm).
+
+    Used by the experiment harness to aggregate per-seed measurements
+    (windows to decision, chain length, error indicators) without
+    retaining the raw samples. *)
+
+type t
+(** Accumulated summary; immutable, add returns a new value. *)
+
+val empty : t
+
+val add : t -> float -> t
+(** Fold in one observation. *)
+
+val add_int : t -> int -> t
+
+val of_list : float list -> t
+val of_int_list : int list -> t
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] when fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val total : t -> float
+
+val std_error : t -> float
+(** Standard error of the mean. *)
+
+val ci95_half_width : t -> float
+(** Half width of a normal-approximation 95% confidence interval for the
+    mean ([1.96 * std_error]). *)
+
+val merge : t -> t -> t
+(** Combine two summaries as if all observations were folded into one. *)
+
+val pp : Format.formatter -> t -> unit

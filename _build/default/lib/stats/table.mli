@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment in the harness produces one of these; the bench and
+    CLI print them, and EXPERIMENTS.md embeds their output. *)
+
+type t
+
+type cell = S of string | I of int | F of float | Pct of float | B of bool
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> cell list -> unit
+(** Rows must have as many cells as there are columns. *)
+
+val row_count : t -> int
+val to_string : t -> string
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV: header row then data rows; cells containing
+    commas, quotes or newlines are quoted.  Percentages are emitted as
+    fractions, booleans as [true]/[false]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val cell_to_string : cell -> string

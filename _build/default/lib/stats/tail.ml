@@ -1,0 +1,66 @@
+(* log Gamma via Lanczos approximation; accurate to ~1e-13 for x > 0. *)
+let log_gamma x =
+  let coefficients =
+    [|
+      76.18009172947146; -86.50532032941677; 24.01409824083091; -1.231739572450155;
+      0.1208650973866179e-2; -0.5395239384953e-5;
+    |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let series = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.0;
+      series := !series +. (c /. !y))
+    coefficients;
+  -.tmp +. log (2.5066282746310005 *. !series /. x)
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else if k = 0 || k = n then 0.0
+  else
+    log_gamma (float_of_int (n + 1))
+    -. log_gamma (float_of_int (k + 1))
+    -. log_gamma (float_of_int (n - k + 1))
+
+let binomial_pmf n p k =
+  if k < 0 || k > n then 0.0
+  else if p <= 0.0 then if k = 0 then 1.0 else 0.0
+  else if p >= 1.0 then if k = n then 1.0 else 0.0
+  else
+    exp
+      (log_choose n k
+      +. (float_of_int k *. log p)
+      +. (float_of_int (n - k) *. log (1.0 -. p)))
+
+let binomial_tail_ge n p k =
+  if k <= 0 then 1.0
+  else if k > n then 0.0
+  else begin
+    (* Sum the PMF from k to n; summing from the smallest terms first
+       keeps the floating-point error down. *)
+    let acc = ref 0.0 in
+    for i = n downto k do
+      acc := !acc +. binomial_pmf n p i
+    done;
+    Float.min 1.0 !acc
+  end
+
+let hoeffding_upper n eps = exp (-2.0 *. float_of_int n *. eps *. eps)
+
+let talagrand_bound ~n ~d = exp (-.(d *. d) /. (4.0 *. float_of_int n))
+
+let eta ~n ~t =
+  let tf = float_of_int (t - 1) in
+  exp (-.(tf *. tf) /. (8.0 *. float_of_int n))
+
+let tau ~n ~t =
+  let tf = float_of_int t in
+  exp (-.(tf *. tf) /. (8.0 *. float_of_int n))
+
+let majority_success_probability ~n ~threshold = binomial_tail_ge n 0.5 threshold
+
+let all_agree_probability n =
+  if n <= 0 then 1.0 else 2.0 ** float_of_int (1 - n)

@@ -1,0 +1,42 @@
+(** Exact and asymptotic tail bounds for sums of independent bits.
+
+    The paper's running-time analysis reduces to the probability that
+    [n] independent fair coins deviate far from the mean (Section 3's
+    exponential-time remark) and to Talagrand's product-measure bound
+    (Lemma 9).  This module supplies exact binomial tails (for the
+    small-[n] experiments), Chernoff/Hoeffding bounds, and the paper's
+    own threshold expressions. *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] = natural log of the binomial coefficient C(n, k).
+    Computed via [lgamma]-style summation; exact enough for n <= 10^6. *)
+
+val binomial_tail_ge : int -> float -> int -> float
+(** [binomial_tail_ge n p k] = P[Bin(n, p) >= k], summed exactly in
+    log-space.  Monotone and in [0, 1]. *)
+
+val binomial_pmf : int -> float -> int -> float
+(** P[Bin(n, p) = k]. *)
+
+val hoeffding_upper : int -> float -> float
+(** [hoeffding_upper n eps] = exp(-2 n eps^2), a bound on
+    P[mean deviation >= eps] for n independent bits. *)
+
+val talagrand_bound : n:int -> d:float -> float
+(** Lemma 9's right-hand side: [exp (-. d^2 /. (4 n))]. *)
+
+val eta : n:int -> t:int -> float
+(** The paper's [eta := exp (-(t-1)^2 / 8n)] from Lemma 14. *)
+
+val tau : n:int -> t:int -> float
+(** The paper's threshold [tau := exp (-t^2 / 8n)] from Lemma 13. *)
+
+val majority_success_probability : n:int -> threshold:int -> float
+(** Probability that [n] fresh fair coins produce at least [threshold]
+    equal values of a *specific* bit — the per-round chance that the
+    variant algorithm escapes the balancing adversary with bit 1, say.
+    Equals [binomial_tail_ge n 0.5 threshold]. *)
+
+val all_agree_probability : int -> float
+(** [2^(1-n)]: probability all [n] fresh coins agree (either way) —
+    the termination driver in Theorem 4's proof. *)

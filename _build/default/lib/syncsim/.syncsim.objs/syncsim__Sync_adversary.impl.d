@@ -1,0 +1,1 @@
+lib/syncsim/sync_adversary.ml: List Sync_engine

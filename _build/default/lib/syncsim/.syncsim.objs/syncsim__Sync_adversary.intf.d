@@ -1,0 +1,1 @@
+lib/syncsim/sync_adversary.mli: Sync_consensus Sync_engine

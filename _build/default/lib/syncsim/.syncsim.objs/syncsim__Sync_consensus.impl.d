@@ -1,0 +1,1 @@
+lib/syncsim/sync_consensus.ml: List Prng Sync_engine

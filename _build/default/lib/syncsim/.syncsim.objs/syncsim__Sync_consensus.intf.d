@@ -1,0 +1,1 @@
+lib/syncsim/sync_consensus.mli: Sync_engine

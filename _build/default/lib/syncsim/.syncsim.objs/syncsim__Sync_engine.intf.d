@@ -1,0 +1,1 @@
+lib/syncsim/sync_engine.mli: Prng

@@ -1,0 +1,44 @@
+let census messages =
+  let ones = List.filter_map (fun (p, v) -> if v then Some p else None) messages in
+  let zeros = List.filter_map (fun (p, v) -> if not v then Some p else None) messages in
+  (zeros, ones)
+
+let balancing () =
+  fun view ->
+    let zeros, ones = census view.Sync_engine.messages in
+    let majority_side, deviation =
+      if List.length ones >= List.length zeros then
+        (ones, List.length ones - List.length zeros)
+      else (zeros, List.length zeros - List.length ones)
+    in
+    if deviation = 0 || deviation > view.Sync_engine.budget_left then
+      { Sync_engine.crash = []; partial_delivery = [] }
+    else
+      {
+        Sync_engine.crash = List.filteri (fun i _ -> i < deviation) majority_side;
+        partial_delivery = [];
+      }
+
+let crash_early () =
+  fun view ->
+    if view.Sync_engine.round = 1 then
+      let victims =
+        List.filteri
+          (fun i _ -> i < view.Sync_engine.budget_left)
+          (List.map fst view.Sync_engine.messages)
+      in
+      { Sync_engine.crash = victims; partial_delivery = [] }
+    else { Sync_engine.crash = []; partial_delivery = [] }
+
+let partial_split () =
+  fun view ->
+    let zeros, ones = census view.Sync_engine.messages in
+    let majority_side =
+      if List.length ones >= List.length zeros then ones else zeros
+    in
+    match majority_side with
+    | victim :: rest when view.Sync_engine.budget_left > 0 ->
+        (* The victim's final vote reaches only its own side, skewing
+           those recipients' margins relative to everyone else's. *)
+        { Sync_engine.crash = [ victim ]; partial_delivery = [ (victim, rest) ] }
+    | _ -> { Sync_engine.crash = []; partial_delivery = [] }

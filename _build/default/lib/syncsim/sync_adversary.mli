@@ -1,0 +1,18 @@
+(** Adaptive crash adversaries for the synchronous engine. *)
+
+val balancing : unit -> (Sync_consensus.state, bool) Sync_engine.adversary
+(** The coin-killing adversary of the Bar-Joseph–Ben-Or game: each
+    round, after seeing every broadcast, crash exactly enough majority
+    voters (suppressing their messages entirely) to force an exact tie
+    — as long as the budget allows.  Once the round's deviation exceeds
+    the remaining budget it gives up and stops intervening. *)
+
+val crash_early : unit -> ('s, 'm) Sync_engine.adversary
+(** Spend the whole budget in round 1 on the lowest-id processors:
+    a naive baseline that barely slows the protocol. *)
+
+val partial_split : unit -> (Sync_consensus.state, bool) Sync_engine.adversary
+(** Demonstrates mid-broadcast interception: each round it crashes one
+    majority voter but delivers its last message to exactly the other
+    majority holders, maximizing the divergence between recipients'
+    views.  Stops when the budget is exhausted. *)

@@ -1,0 +1,113 @@
+type ('s, 'm) protocol = {
+  name : string;
+  init : n:int -> t:int -> id:int -> input:bool -> 's;
+  round_message : 's -> 'm;
+  on_round : 's -> (int * 'm) list -> Prng.Stream.t -> 's;
+  output : 's -> bool option;
+  estimate : 's -> bool;
+}
+
+type 'm intervention = {
+  crash : int list;
+  partial_delivery : (int * int list) list;
+}
+
+type ('s, 'm) view = {
+  round : int;
+  states : 's array;
+  alive : bool array;
+  messages : (int * 'm) list;
+  budget_left : int;
+}
+
+type ('s, 'm) adversary = ('s, 'm) view -> 'm intervention
+
+let no_faults _view = { crash = []; partial_delivery = [] }
+
+type outcome = {
+  rounds : int;
+  decided : (int * bool) list;
+  conflict : bool;
+  crashes_used : int;
+  terminated : bool;
+}
+
+let run ~protocol ~n ~t ~inputs ~seed ~adversary ~max_rounds =
+  if Array.length inputs <> n then invalid_arg "Sync_engine.run: |inputs| <> n";
+  let root = Prng.Stream.root seed in
+  let rngs = Array.init n (fun i -> Prng.Stream.derive root i) in
+  let states =
+    Array.init n (fun i -> protocol.init ~n ~t ~id:i ~input:inputs.(i))
+  in
+  let alive = Array.make n true in
+  let crashes_used = ref 0 in
+  let all_live_decided () =
+    let undecided = ref false in
+    Array.iteri
+      (fun p s -> if alive.(p) && protocol.output s = None then undecided := true)
+      states;
+    not !undecided
+  in
+  let round = ref 0 in
+  while (not (all_live_decided ())) && !round < max_rounds do
+    incr round;
+    (* Every live processor broadcasts. *)
+    let messages =
+      Array.to_list states
+      |> List.mapi (fun p s -> (p, s))
+      |> List.filter_map (fun (p, s) ->
+             if alive.(p) then Some (p, protocol.round_message s) else None)
+    in
+    (* Full-information adversary intervenes, seeing the messages. *)
+    let view =
+      {
+        round = !round;
+        states = Array.copy states;
+        alive = Array.copy alive;
+        messages;
+        budget_left = t - !crashes_used;
+      }
+    in
+    let intervention = adversary view in
+    let crash = List.sort_uniq compare intervention.crash in
+    let crash = List.filter (fun p -> p >= 0 && p < n && alive.(p)) crash in
+    if List.length crash > t - !crashes_used then
+      invalid_arg "Sync_engine.run: adversary exceeded its crash budget";
+    List.iter (fun p -> alive.(p) <- false) crash;
+    crashes_used := !crashes_used + List.length crash;
+    (* Delivery: live senders reach everyone; a just-crashed sender
+       reaches exactly the recipients the adversary listed. *)
+    let reach_of sender =
+      if not (List.mem sender crash) then `All
+      else
+        match List.assoc_opt sender intervention.partial_delivery with
+        | Some recipients -> `Some recipients
+        | None -> `None
+    in
+    let deliveries_for dst =
+      List.filter
+        (fun (sender, _) ->
+          match reach_of sender with
+          | `All -> true
+          | `Some recipients -> List.mem dst recipients
+          | `None -> false)
+        messages
+    in
+    Array.iteri
+      (fun p s ->
+        if alive.(p) then states.(p) <- protocol.on_round s (deliveries_for p) rngs.(p))
+      states
+  done;
+  let decided =
+    Array.to_list states
+    |> List.mapi (fun p s -> (p, protocol.output s))
+    |> List.filter_map (fun (p, o) -> Option.map (fun v -> (p, v)) o)
+  in
+  let values = List.map snd decided in
+  {
+    rounds = !round;
+    decided;
+    conflict = List.mem true values && List.mem false values;
+    crashes_used = !crashes_used;
+    terminated = all_live_decided ();
+  }

@@ -1,0 +1,71 @@
+(** A synchronous round-based execution engine with an adaptive,
+    full-information crash adversary.
+
+    This substrate reproduces the setting of Bar-Joseph and Ben-Or
+    ("A tight lower bound for randomized synchronous consensus",
+    PODC 1998) — the paper's reference [6], whose coin-flipping-game
+    analysis via product-measure concentration parallels the paper's
+    own use of Talagrand's inequality.  The model:
+
+    - computation proceeds in rounds; every live processor broadcasts
+      one message per round;
+    - the adversary sees all internal states *and the round's messages
+      before deciding on failures* (full information, adaptive);
+    - it may crash up to [t] processors over the whole execution, and a
+      processor crashed in round [r] may have its round-[r] message
+      delivered to an arbitrary subset of the recipients (mid-broadcast
+      interception).
+
+    Protocols are records of pure functions, as in {!Dsim.Protocol}. *)
+
+type ('s, 'm) protocol = {
+  name : string;
+  init : n:int -> t:int -> id:int -> input:bool -> 's;
+  round_message : 's -> 'm;
+      (** The broadcast for the coming round (deterministic). *)
+  on_round : 's -> (int * 'm) list -> Prng.Stream.t -> 's;
+      (** Process the round's received messages, sender-ascending; the
+          only randomized transition. *)
+  output : 's -> bool option;
+  estimate : 's -> bool;
+}
+
+(** What the adversary sees and decides each round. *)
+type 'm intervention = {
+  crash : int list;  (** Processors to crash this round (within budget). *)
+  partial_delivery : (int * int list) list;
+      (** For each crashed processor, the recipients that still receive
+          its final message; unlisted crashed processors reach nobody. *)
+}
+
+type ('s, 'm) view = {
+  round : int;
+  states : 's array;
+  alive : bool array;
+  messages : (int * 'm) list;  (** This round's (sender, message) pairs. *)
+  budget_left : int;
+}
+
+type ('s, 'm) adversary = ('s, 'm) view -> 'm intervention
+
+val no_faults : ('s, 'm) adversary
+
+type outcome = {
+  rounds : int;
+  decided : (int * bool) list;
+  conflict : bool;
+  crashes_used : int;
+  terminated : bool;  (** Every live processor decided within budget. *)
+}
+
+val run :
+  protocol:('s, 'm) protocol ->
+  n:int ->
+  t:int ->
+  inputs:bool array ->
+  seed:int ->
+  adversary:('s, 'm) adversary ->
+  max_rounds:int ->
+  outcome
+(** Interventions beyond the remaining budget raise
+    [Invalid_argument] (the adversary is ours, so this is a bug). *)

@@ -1,0 +1,1 @@
+test/test_bracha.ml: Adversary Agreement Alcotest Array Dsim List Printf Prng Protocols

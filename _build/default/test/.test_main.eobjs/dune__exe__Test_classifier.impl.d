@@ -1,0 +1,1 @@
+test/test_classifier.ml: Alcotest Dsim Format List Printf Protocols

@@ -1,0 +1,1 @@
+test/test_core.ml: Adversary Agreement Alcotest Array Dsim List Protocols Stats

@@ -1,0 +1,1 @@
+test/test_interpolation.ml: Alcotest Array List Lowerbound

@@ -1,0 +1,1 @@
+test/test_lewko.ml: Alcotest Dsim List Prng Protocols

@@ -1,0 +1,1 @@
+test/test_mailbox.ml: Alcotest Dsim List Printf

@@ -1,0 +1,1 @@
+test/test_product.ml: Alcotest Array Float Lowerbound Prng

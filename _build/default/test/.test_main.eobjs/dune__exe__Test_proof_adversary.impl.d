@@ -1,0 +1,1 @@
+test/test_proof_adversary.ml: Agreement Alcotest Array Dsim Lowerbound Prng Protocols

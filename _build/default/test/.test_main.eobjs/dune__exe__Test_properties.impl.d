@@ -1,0 +1,1 @@
+test/test_properties.ml: Adversary Agreement Array Dsim Float Gen List Lowerbound Prng Protocols QCheck QCheck_alcotest Shmem Stats Syncsim

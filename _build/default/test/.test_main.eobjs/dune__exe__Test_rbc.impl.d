@@ -1,0 +1,1 @@
+test/test_rbc.ml: Alcotest Array List Printf Prng Protocols

@@ -1,0 +1,1 @@
+test/test_repro.ml: Agreement Alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_runner.ml: Adversary Alcotest Array Dsim List Option Protocols

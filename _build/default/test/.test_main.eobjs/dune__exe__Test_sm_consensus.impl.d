@@ -1,0 +1,1 @@
+test/test_sm_consensus.ml: Alcotest Array List Option Shmem

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Adversary Alcotest Array Dsim List Protocols

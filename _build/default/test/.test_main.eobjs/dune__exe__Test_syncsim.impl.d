@@ -1,0 +1,1 @@
+test/test_syncsim.ml: Alcotest Array List Option Stats Syncsim

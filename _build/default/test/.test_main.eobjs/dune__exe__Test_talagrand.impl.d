@@ -1,0 +1,1 @@
+test/test_talagrand.ml: Alcotest Array Float List Lowerbound Printf

@@ -1,0 +1,1 @@
+test/test_tally.ml: Alcotest Protocols

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Float List Lowerbound Printf

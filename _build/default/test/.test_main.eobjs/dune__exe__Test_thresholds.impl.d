@@ -1,0 +1,1 @@
+test/test_thresholds.ml: Alcotest List Printf Protocols

@@ -1,0 +1,1 @@
+test/test_trace.ml: Adversary Alcotest Array Dsim Filename Format List Protocols String Sys

@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Array Dsim Format List String

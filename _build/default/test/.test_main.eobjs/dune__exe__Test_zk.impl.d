@@ -1,0 +1,1 @@
+test/test_zk.ml: Adversary Alcotest Array Dsim List Lowerbound Prng Protocols Stats

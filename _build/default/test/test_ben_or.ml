@@ -1,0 +1,215 @@
+(* White-box tests of Ben-Or: n = 7, t = 2, so each phase waits for
+   n - t = 5 messages; proposals need a > n/2 = 3.5 report majority;
+   decisions need t + 1 = 3 agreeing proposals. *)
+
+let protocol = Protocols.Ben_or.protocol ()
+
+let rng () = Prng.Stream.root 7
+
+let init ?(input = true) () = protocol.Dsim.Protocol.init ~n:7 ~t:2 ~id:0 ~input
+
+let deliver state ~src m = protocol.Dsim.Protocol.on_deliver state ~src m (rng ())
+
+let report round value = Protocols.Ben_or.Report { round; value }
+let propose round value = Protocols.Ben_or.Propose { round; value }
+
+let feed state messages =
+  List.fold_left (fun s (src, m) -> deliver s ~src m) state messages
+
+let test_init () =
+  let state = init () in
+  Alcotest.(check int) "round 1" 1 (Protocols.Ben_or.round_of_state state);
+  Alcotest.(check bool) "report phase" true
+    (Protocols.Ben_or.phase_of_state state = `Report);
+  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  Alcotest.(check int) "broadcasts reports" 7 (List.length messages);
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Protocols.Ben_or.Report { round; value } ->
+          Alcotest.(check int) "round" 1 round;
+          Alcotest.(check bool) "value" true value
+      | Protocols.Ben_or.Propose _ -> Alcotest.fail "unexpected proposal")
+    messages
+
+let test_majority_report_proposes_value () =
+  let state = init () in
+  let state =
+    feed state
+      [
+        (1, report 1 true); (2, report 1 true); (3, report 1 true);
+        (4, report 1 true); (5, report 1 false);
+      ]
+  in
+  Alcotest.(check bool) "now propose phase" true
+    (Protocols.Ben_or.phase_of_state state = `Propose);
+  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  let proposals =
+    List.filter_map
+      (fun (_, m) ->
+        match m with Protocols.Ben_or.Propose { value; _ } -> Some value | _ -> None)
+      messages
+  in
+  Alcotest.(check int) "proposed to all" 7 (List.length proposals);
+  List.iter
+    (fun v -> Alcotest.(check bool) "proposes Some true" true (v = Some true))
+    proposals
+
+let test_split_reports_propose_question () =
+  let state, _ = protocol.Dsim.Protocol.outgoing (init ()) in
+  let state =
+    feed state
+      [
+        (1, report 1 true); (2, report 1 true); (3, report 1 true);
+        (4, report 1 false); (5, report 1 false);
+      ]
+  in
+  (* 3 of 5 is not > n/2 = 3.5 of all n. *)
+  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Protocols.Ben_or.Propose { value; _ } ->
+          Alcotest.(check bool) "proposes ?" true (value = None)
+      | Protocols.Ben_or.Report _ -> Alcotest.fail "unexpected report")
+    messages
+
+let to_propose_phase state =
+  feed state
+    [
+      (1, report 1 true); (2, report 1 true); (3, report 1 true);
+      (4, report 1 false); (5, report 1 false);
+    ]
+
+let test_decides_on_t_plus_1_proposals () =
+  let state = to_propose_phase (init ()) in
+  let state =
+    feed state
+      [
+        (1, propose 1 (Some false)); (2, propose 1 (Some false));
+        (3, propose 1 (Some false)); (4, propose 1 None); (5, propose 1 None);
+      ]
+  in
+  Alcotest.(check bool) "decided 0" true
+    (protocol.Dsim.Protocol.output state = Some false);
+  Alcotest.(check int) "advanced to round 2" 2 (Protocols.Ben_or.round_of_state state);
+  Alcotest.(check bool) "adopted decided value" false
+    (Protocols.Ben_or.estimate_of_state state)
+
+let test_adopts_on_single_proposal () =
+  let state = to_propose_phase (init ()) in
+  let state =
+    feed state
+      [
+        (1, propose 1 (Some false)); (2, propose 1 None); (3, propose 1 None);
+        (4, propose 1 None); (5, propose 1 None);
+      ]
+  in
+  Alcotest.(check bool) "no decision on 1 proposal" true
+    (protocol.Dsim.Protocol.output state = None);
+  Alcotest.(check bool) "adopted the proposal" false
+    (Protocols.Ben_or.estimate_of_state state)
+
+let test_coin_on_all_question () =
+  let outcomes = ref [] in
+  for seed = 1 to 30 do
+    let r = Prng.Stream.root seed in
+    let state = protocol.Dsim.Protocol.init ~n:7 ~t:2 ~id:0 ~input:true in
+    let state =
+      List.fold_left
+        (fun s (src, m) -> protocol.Dsim.Protocol.on_deliver s ~src m r)
+        state
+        [
+          (1, report 1 true); (2, report 1 true); (3, report 1 true);
+          (4, report 1 false); (5, report 1 false);
+          (1, propose 1 None); (2, propose 1 None); (3, propose 1 None);
+          (4, propose 1 None); (5, propose 1 None);
+        ]
+    in
+    outcomes := Protocols.Ben_or.estimate_of_state state :: !outcomes
+  done;
+  Alcotest.(check bool) "both coin values occur" true
+    (List.mem true !outcomes && List.mem false !outcomes)
+
+let test_future_round_buffered () =
+  let state = init () in
+  let state = feed state [ (1, report 2 true) ] in
+  Alcotest.(check int) "still round 1" 1 (Protocols.Ben_or.round_of_state state);
+  (* Complete round 1 (all-true reports then all-true proposals). *)
+  let state =
+    feed state
+      [
+        (1, report 1 true); (2, report 1 true); (3, report 1 true);
+        (4, report 1 true); (5, report 1 true);
+        (1, propose 1 (Some true)); (2, propose 1 (Some true));
+        (3, propose 1 (Some true)); (4, propose 1 (Some true));
+        (5, propose 1 (Some true));
+      ]
+  in
+  Alcotest.(check int) "round 2" 2 (Protocols.Ben_or.round_of_state state);
+  Alcotest.(check bool) "decided" true (protocol.Dsim.Protocol.output state = Some true)
+
+let test_duplicates_ignored () =
+  let state = init () in
+  let state =
+    feed state
+      [ (1, report 1 true); (1, report 1 true); (1, report 1 false); (2, report 1 true) ]
+  in
+  Alcotest.(check bool) "still in report phase (2 distinct senders)" true
+    (Protocols.Ben_or.phase_of_state state = `Report)
+
+let test_reset_restarts () =
+  let state = to_propose_phase (init ()) in
+  let state = protocol.Dsim.Protocol.on_reset state in
+  Alcotest.(check int) "round restarts" 1 (Protocols.Ben_or.round_of_state state);
+  Alcotest.(check bool) "report phase" true
+    (Protocols.Ben_or.phase_of_state state = `Report);
+  let obs = protocol.Dsim.Protocol.observe state in
+  Alcotest.(check int) "reset counted" 1 obs.Dsim.Obs.resets
+
+let test_message_introspection () =
+  Alcotest.(check bool) "report bit" true
+    (protocol.Dsim.Protocol.message_bit (report 1 true) = Some true);
+  Alcotest.(check bool) "question has no bit" true
+    (protocol.Dsim.Protocol.message_bit (propose 1 None) = None);
+  Alcotest.(check bool) "proposal bit" true
+    (protocol.Dsim.Protocol.message_bit (propose 1 (Some false)) = Some false);
+  (match protocol.Dsim.Protocol.rewrite_bit (propose 2 None) true with
+  | Some (Protocols.Ben_or.Propose { round; value }) ->
+      Alcotest.(check int) "round kept" 2 round;
+      Alcotest.(check bool) "bit forged" true (value = Some true)
+  | _ -> Alcotest.fail "expected rewritten proposal")
+
+let test_validity_unanimous () =
+  (* All processors with input 0 decide 0 in round 1 under fair
+     delivery (validity, Definition 2). *)
+  let n = 7 in
+  let config =
+    Dsim.Engine.init ~protocol ~n ~fault_bound:2 ~inputs:(Array.make n false) ~seed:3 ()
+  in
+  let outcome =
+    Dsim.Runner.run_steps config
+      ~strategy:(Adversary.Benign.lockstep ())
+      ~max_steps:10_000 ~stop:`All_decided
+  in
+  Alcotest.(check int) "all decided" n (List.length outcome.Dsim.Runner.decided);
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "decided 0" false v)
+    outcome.Dsim.Runner.decided
+
+let suite =
+  [
+    Alcotest.test_case "init" `Quick test_init;
+    Alcotest.test_case "majority report proposes value" `Quick
+      test_majority_report_proposes_value;
+    Alcotest.test_case "split reports propose ?" `Quick
+      test_split_reports_propose_question;
+    Alcotest.test_case "decides on t+1 proposals" `Quick test_decides_on_t_plus_1_proposals;
+    Alcotest.test_case "adopts on single proposal" `Quick test_adopts_on_single_proposal;
+    Alcotest.test_case "coin on all-?" `Quick test_coin_on_all_question;
+    Alcotest.test_case "future round buffered" `Quick test_future_round_buffered;
+    Alcotest.test_case "duplicates ignored" `Quick test_duplicates_ignored;
+    Alcotest.test_case "reset restarts" `Quick test_reset_restarts;
+    Alcotest.test_case "message introspection" `Quick test_message_introspection;
+    Alcotest.test_case "validity unanimous" `Quick test_validity_unanimous;
+  ]

@@ -1,0 +1,87 @@
+(* Committee algorithm (structural Kapron et al.). *)
+
+let run ?(n = 64) ?(corrupt = []) ?(adaptive = false) ?(seed = 1) ?inputs () =
+  let inputs = Option.value ~default:(Array.init n (fun i -> i mod 2 = 0)) inputs in
+  let params =
+    { (Protocols.Committee.default_params ~n ~seed) with
+      Protocols.Committee.adaptive_attack = adaptive }
+  in
+  Protocols.Committee.run params ~n ~corrupt ~inputs
+
+let test_honest_run_decides_validly () =
+  let report = run () in
+  Alcotest.(check bool) "not hijacked" false report.Protocols.Committee.hijacked;
+  Alcotest.(check bool) "valid" true report.Protocols.Committee.valid;
+  Alcotest.(check bool) "decided" true (report.Protocols.Committee.decision <> None);
+  Alcotest.(check bool) "final committee small" true
+    (List.length report.Protocols.Committee.final_committee
+    <= (Protocols.Committee.default_params ~n:64 ~seed:1).Protocols.Committee.committee_size)
+
+let test_unanimous_validity () =
+  let report = run ~inputs:(Array.make 64 true) () in
+  Alcotest.(check bool) "decides the unanimous value" true
+    (report.Protocols.Committee.decision = Some true)
+
+let test_levels_grow_with_n () =
+  let levels n = (run ~n ()).Protocols.Committee.levels in
+  Alcotest.(check bool) "more processors, more levels" true (levels 512 > levels 64);
+  (* Polylog: going from 64 to 4096 (64x) adds only a few levels. *)
+  Alcotest.(check bool) "sub-linear level growth" true (levels 4096 <= levels 64 + 6)
+
+let test_adaptive_attack_always_hijacks () =
+  for seed = 1 to 5 do
+    let report = run ~adaptive:true ~seed () in
+    Alcotest.(check bool) "hijacked" true report.Protocols.Committee.hijacked
+  done
+
+let test_adaptive_attack_invalid_on_unanimous () =
+  let report = run ~adaptive:true ~inputs:(Array.make 64 true) () in
+  Alcotest.(check bool) "hijacked" true report.Protocols.Committee.hijacked;
+  Alcotest.(check bool) "invalid output" false report.Protocols.Committee.valid
+
+let test_heavy_corruption_hijacks_often () =
+  let hijacks = ref 0 in
+  for seed = 1 to 20 do
+    let rng = Prng.Stream.root seed in
+    let corrupt = Prng.Stream.sample_without_replacement rng 21 64 in
+    let report = run ~corrupt ~seed () in
+    if report.Protocols.Committee.hijacked then incr hijacks
+  done;
+  Alcotest.(check bool) "1/3 corruption hijacks most runs" true (!hijacks >= 10)
+
+let test_light_corruption_mostly_honest () =
+  let hijacks = ref 0 in
+  for seed = 1 to 20 do
+    let rng = Prng.Stream.root seed in
+    let corrupt = Prng.Stream.sample_without_replacement rng 3 64 in
+    let report = run ~corrupt ~seed () in
+    if report.Protocols.Committee.hijacked then incr hijacks
+  done;
+  Alcotest.(check bool) "5% corruption rarely hijacks" true (!hijacks <= 4)
+
+let test_determinism () =
+  let a = run ~seed:9 () and b = run ~seed:9 () in
+  Alcotest.(check bool) "same seed, same report" true (a = b)
+
+let test_input_validation () =
+  Alcotest.check_raises "inputs arity" (Invalid_argument "Committee.run: |inputs| <> n")
+    (fun () ->
+      ignore
+        (Protocols.Committee.run
+           (Protocols.Committee.default_params ~n:8 ~seed:1)
+           ~n:8 ~corrupt:[] ~inputs:[| true |]))
+
+let suite =
+  [
+    Alcotest.test_case "honest run decides validly" `Quick test_honest_run_decides_validly;
+    Alcotest.test_case "unanimous validity" `Quick test_unanimous_validity;
+    Alcotest.test_case "levels grow with n" `Quick test_levels_grow_with_n;
+    Alcotest.test_case "adaptive attack hijacks" `Quick test_adaptive_attack_always_hijacks;
+    Alcotest.test_case "adaptive attack invalid on unanimous" `Quick
+      test_adaptive_attack_invalid_on_unanimous;
+    Alcotest.test_case "heavy corruption hijacks" `Quick test_heavy_corruption_hijacks_often;
+    Alcotest.test_case "light corruption mostly honest" `Quick
+      test_light_corruption_mostly_honest;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+  ]

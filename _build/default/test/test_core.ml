@@ -1,0 +1,144 @@
+(* The agreement umbrella library: correctness verdicts and ensemble
+   sweeps. *)
+
+let outcome_with ~decided ~conflict =
+  {
+    Dsim.Runner.reason = Dsim.Runner.Stopped;
+    steps = 10;
+    windows = 2;
+    decided;
+    first_decision = None;
+    conflict;
+    total_resets = 0;
+    total_crashes = 0;
+    messages_sent = 0;
+    messages_delivered = 0;
+    max_chain_depth = 1;
+  }
+
+let test_verdict_agreement () =
+  let inputs = [| true; false; true |] in
+  let good =
+    Agreement.Correctness.of_outcome ~inputs
+      (outcome_with ~decided:[ (0, true); (1, true) ] ~conflict:false)
+  in
+  Alcotest.(check bool) "agreement" true good.Agreement.Correctness.agreement;
+  Alcotest.(check bool) "validity" true good.Agreement.Correctness.validity;
+  Alcotest.(check bool) "value" true (good.Agreement.Correctness.value = Some true);
+  Alcotest.(check bool) "ok" true (Agreement.Correctness.ok good);
+  let bad =
+    Agreement.Correctness.of_outcome ~inputs
+      (outcome_with ~decided:[ (0, true); (1, false) ] ~conflict:true)
+  in
+  Alcotest.(check bool) "conflict detected" false bad.Agreement.Correctness.agreement;
+  Alcotest.(check bool) "not ok" false (Agreement.Correctness.ok bad)
+
+let test_verdict_validity () =
+  (* Deciding 1 when every input is 0 violates validity. *)
+  let inputs = [| false; false; false |] in
+  let invalid =
+    Agreement.Correctness.of_outcome ~inputs
+      (outcome_with ~decided:[ (0, true) ] ~conflict:false)
+  in
+  Alcotest.(check bool) "agreement still holds" true
+    invalid.Agreement.Correctness.agreement;
+  Alcotest.(check bool) "validity violated" false invalid.Agreement.Correctness.validity
+
+let test_verdict_undecided () =
+  let v =
+    Agreement.Correctness.of_outcome ~inputs:[| true |]
+      (outcome_with ~decided:[] ~conflict:false)
+  in
+  Alcotest.(check int) "none decided" 0 v.Agreement.Correctness.decided;
+  Alcotest.(check bool) "vacuously ok" true (Agreement.Correctness.ok v);
+  Alcotest.(check bool) "no value" true (v.Agreement.Correctness.value = None)
+
+let test_inputs_generators () =
+  let split = Agreement.Ensemble.split_inputs ~n:6 0 in
+  let ones = Array.fold_left (fun a b -> if b then a + 1 else a) 0 split in
+  Alcotest.(check int) "balanced" 3 ones;
+  let rotated = Agreement.Ensemble.split_inputs ~n:6 1 in
+  Alcotest.(check bool) "rotation changes leader" true (split.(0) <> rotated.(0));
+  let constant = Agreement.Ensemble.constant_inputs ~n:4 true 0 in
+  Alcotest.(check bool) "constant" true (Array.for_all (fun b -> b) constant)
+
+let spec ~n ~t =
+  {
+    Agreement.Ensemble.n;
+    t;
+    inputs = Agreement.Ensemble.split_inputs ~n;
+    max_windows = 50_000;
+    max_steps = 200_000;
+    stop = `All_decided;
+  }
+
+let test_windowed_sweep () =
+  let result =
+    Agreement.Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+      ~strategy:(fun _ -> Adversary.Benign.windowed ())
+      ~spec:(spec ~n:13 ~t:2)
+      ~seeds:(List.init 10 (fun i -> i))
+  in
+  Alcotest.(check int) "10 runs" 10 result.Agreement.Ensemble.runs;
+  Alcotest.(check bool) "all agree" true
+    (Agreement.Ensemble.agreement_rate result = 1.0);
+  Alcotest.(check bool) "all valid" true (Agreement.Ensemble.validity_rate result = 1.0);
+  Alcotest.(check bool) "all terminate" true
+    (Agreement.Ensemble.termination_rate result = 1.0);
+  Alcotest.(check int) "decisions partition" 10
+    (result.Agreement.Ensemble.decisions_zero + result.Agreement.Ensemble.decisions_one);
+  Alcotest.(check int) "windows histogram populated" 10
+    (Stats.Histogram.count result.Agreement.Ensemble.window_histogram)
+
+let test_stepwise_sweep () =
+  let result =
+    Agreement.Ensemble.run_stepwise ~protocol:(Protocols.Ben_or.protocol ())
+      ~strategy:(fun seed -> Adversary.Benign.random_fair ~seed ~drop_probability:0.2 ())
+      ~spec:(spec ~n:7 ~t:2)
+      ~seeds:(List.init 6 (fun i -> i))
+  in
+  Alcotest.(check int) "6 runs" 6 result.Agreement.Ensemble.runs;
+  Alcotest.(check bool) "all agree" true (Agreement.Ensemble.agreement_rate result = 1.0);
+  Alcotest.(check bool) "chain depth recorded" true
+    (Stats.Summary.count result.Agreement.Ensemble.chain_depth > 0)
+
+let test_histogram_fresh_per_sweep () =
+  (* Regression: results must not share the mutable histogram. *)
+  let run () =
+    Agreement.Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+      ~strategy:(fun _ -> Adversary.Benign.windowed ())
+      ~spec:(spec ~n:13 ~t:2)
+      ~seeds:[ 1; 2; 3 ]
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check int) "first sweep histogram" 3
+    (Stats.Histogram.count a.Agreement.Ensemble.window_histogram);
+  Alcotest.(check int) "second sweep histogram not contaminated" 3
+    (Stats.Histogram.count b.Agreement.Ensemble.window_histogram)
+
+let test_budget_exhaustion_counts () =
+  (* A tiny window budget means no termination, but also no failures. *)
+  let tight = { (spec ~n:13 ~t:2) with Agreement.Ensemble.max_windows = 1 } in
+  let result =
+    Agreement.Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+      ~strategy:(fun _ -> Adversary.Split_vote.windowed ())
+      ~spec:tight
+      ~seeds:[ 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "nothing terminated" true
+    (result.Agreement.Ensemble.terminated = 0);
+  Alcotest.(check bool) "agreement unaffected" true
+    (Agreement.Ensemble.agreement_rate result = 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "verdict agreement" `Quick test_verdict_agreement;
+    Alcotest.test_case "verdict validity" `Quick test_verdict_validity;
+    Alcotest.test_case "verdict undecided" `Quick test_verdict_undecided;
+    Alcotest.test_case "inputs generators" `Quick test_inputs_generators;
+    Alcotest.test_case "windowed sweep" `Quick test_windowed_sweep;
+    Alcotest.test_case "stepwise sweep" `Quick test_stepwise_sweep;
+    Alcotest.test_case "histogram fresh per sweep" `Quick test_histogram_fresh_per_sweep;
+    Alcotest.test_case "budget exhaustion counts" `Quick test_budget_exhaustion_counts;
+  ]

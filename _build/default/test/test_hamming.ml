@@ -1,0 +1,66 @@
+(* Hamming geometry. *)
+
+let test_distance () =
+  Alcotest.(check int) "identical" 0
+    (Lowerbound.Hamming.distance [| "a"; "b" |] [| "a"; "b" |]);
+  Alcotest.(check int) "one diff" 1
+    (Lowerbound.Hamming.distance [| "a"; "b" |] [| "a"; "c" |]);
+  Alcotest.(check int) "all diff" 2
+    (Lowerbound.Hamming.distance [| "a"; "b" |] [| "x"; "y" |])
+
+let test_distance_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Hamming.distance: length mismatch") (fun () ->
+      ignore (Lowerbound.Hamming.distance [| "a" |] [| "a"; "b" |]))
+
+let test_distance_int () =
+  Alcotest.(check int) "ints" 2
+    (Lowerbound.Hamming.distance_int [| 1; 2; 3 |] [| 1; 0; 0 |])
+
+let test_distance_to_set () =
+  let set = [ [| "a"; "b"; "c" |]; [| "x"; "b"; "c" |] ] in
+  Alcotest.(check int) "closest point wins" 1
+    (Lowerbound.Hamming.distance_to_set [| "x"; "b"; "z" |] set);
+  Alcotest.(check int) "member has distance 0" 0
+    (Lowerbound.Hamming.distance_to_set [| "a"; "b"; "c" |] set)
+
+let test_distance_to_empty_set () =
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Hamming.distance_to_set: empty set") (fun () ->
+      ignore (Lowerbound.Hamming.distance_to_set [| "a" |] []))
+
+let test_distance_between_sets () =
+  let a = [ [| "0"; "0" |]; [| "0"; "1" |] ] in
+  let b = [ [| "1"; "1" |] ] in
+  Alcotest.(check int) "min over pairs" 1 (Lowerbound.Hamming.distance_between_sets a b)
+
+let test_within () =
+  let set = [ [| "a"; "b" |] ] in
+  Alcotest.(check bool) "within 1" true (Lowerbound.Hamming.within ~d:1 [| "a"; "x" |] set);
+  Alcotest.(check bool) "not within 0" false
+    (Lowerbound.Hamming.within ~d:0 [| "a"; "x" |] set)
+
+let test_config_distance () =
+  let protocol = Protocols.Lewko_variant.protocol () in
+  let make inputs =
+    Dsim.Engine.init ~protocol ~n:7 ~fault_bound:1 ~inputs ~seed:1 ()
+  in
+  let a = make (Array.make 7 false) in
+  let b = make (Array.make 7 false) in
+  Alcotest.(check int) "identical initial configs" 0
+    (Lowerbound.Hamming.config_distance a b);
+  let c = make (Array.init 7 (fun i -> i = 0)) in
+  Alcotest.(check int) "one input flipped = distance 1" 1
+    (Lowerbound.Hamming.config_distance a c)
+
+let suite =
+  [
+    Alcotest.test_case "distance" `Quick test_distance;
+    Alcotest.test_case "distance mismatch" `Quick test_distance_mismatch;
+    Alcotest.test_case "distance int" `Quick test_distance_int;
+    Alcotest.test_case "distance to set" `Quick test_distance_to_set;
+    Alcotest.test_case "distance to empty set" `Quick test_distance_to_empty_set;
+    Alcotest.test_case "distance between sets" `Quick test_distance_between_sets;
+    Alcotest.test_case "within" `Quick test_within;
+    Alcotest.test_case "config distance" `Quick test_config_distance;
+  ]

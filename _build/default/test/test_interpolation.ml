@@ -1,0 +1,74 @@
+(* Lemma 14's hybrid interpolation. *)
+
+let sweep ?(n = 16) () =
+  let k0 = (n / 2) - (n / 4) and k1 = (n / 2) + (n / 4) in
+  Lowerbound.Interpolation.sweep
+    ~pi0:(Lowerbound.Product.bernoulli (Array.make n 0.15))
+    ~pi_n:(Lowerbound.Product.bernoulli (Array.make n 0.85))
+    ~z0:(Lowerbound.Talagrand.Weight_le k0)
+    ~z1:(Lowerbound.Talagrand.Weight_ge k1)
+    ~t:(k1 - k0 - 1) ()
+
+let test_curve_shape () =
+  let r = sweep () in
+  Alcotest.(check int) "n+1 points" 17 (List.length r.Lowerbound.Interpolation.curve);
+  (* P[Z0] decreases along j (more coordinates become 1-biased);
+     P[Z1] increases. *)
+  let z0s = List.map (fun p -> p.Lowerbound.Interpolation.p_z0) r.Lowerbound.Interpolation.curve in
+  let z1s = List.map (fun p -> p.Lowerbound.Interpolation.p_z1) r.Lowerbound.Interpolation.curve in
+  let rec monotone cmp = function
+    | a :: (b :: _ as rest) -> cmp a b && monotone cmp rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "P[Z0] non-increasing" true
+    (monotone (fun a b -> a +. 1e-9 >= b) z0s);
+  Alcotest.(check bool) "P[Z1] non-decreasing" true
+    (monotone (fun a b -> a <= b +. 1e-9) z1s)
+
+let test_endpoints () =
+  let r = sweep () in
+  let first = List.hd r.Lowerbound.Interpolation.curve in
+  let last = List.nth r.Lowerbound.Interpolation.curve 16 in
+  (* pi_0 = pi0 is 0-biased: heavy on Z0, light on Z1; pi_n opposite. *)
+  Alcotest.(check bool) "pi0 heavy on Z0" true (first.Lowerbound.Interpolation.p_z0 > 0.5);
+  Alcotest.(check bool) "pi0 light on Z1" true (first.Lowerbound.Interpolation.p_z1 < 0.05);
+  Alcotest.(check bool) "pi_n light on Z0" true (last.Lowerbound.Interpolation.p_z0 < 0.05);
+  Alcotest.(check bool) "pi_n heavy on Z1" true (last.Lowerbound.Interpolation.p_z1 > 0.5)
+
+let test_conclusion () =
+  let r = sweep () in
+  Alcotest.(check bool) "j* in range" true
+    (r.Lowerbound.Interpolation.j_star >= 0 && r.Lowerbound.Interpolation.j_star <= 16);
+  Alcotest.(check bool) "lemma conclusion holds" true
+    r.Lowerbound.Interpolation.conclusion_holds;
+  (* j* is minimal: the previous hybrid (if any) exceeds eta on Z0. *)
+  if r.Lowerbound.Interpolation.j_star > 0 then begin
+    let prev =
+      List.nth r.Lowerbound.Interpolation.curve (r.Lowerbound.Interpolation.j_star - 1)
+    in
+    Alcotest.(check bool) "minimality of j*" true
+      (prev.Lowerbound.Interpolation.p_z0 > r.Lowerbound.Interpolation.eta)
+  end
+
+let test_dimension_mismatch () =
+  let raised =
+    try
+      ignore
+        (Lowerbound.Interpolation.sweep
+           ~pi0:(Lowerbound.Product.uniform_bits ~n:4)
+           ~pi_n:(Lowerbound.Product.uniform_bits ~n:5)
+           ~z0:(Lowerbound.Talagrand.Weight_le 1)
+           ~z1:(Lowerbound.Talagrand.Weight_ge 3)
+           ~t:1 ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "mismatch rejected" true raised
+
+let suite =
+  [
+    Alcotest.test_case "curve shape" `Quick test_curve_shape;
+    Alcotest.test_case "endpoints" `Quick test_endpoints;
+    Alcotest.test_case "conclusion" `Quick test_conclusion;
+    Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
+  ]

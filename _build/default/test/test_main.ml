@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "agreement-repro"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("mailbox", Test_mailbox.suite);
+      ("window", Test_window.suite);
+      ("engine", Test_engine.suite);
+      ("runner", Test_runner.suite);
+      ("trace", Test_trace.suite);
+      ("thresholds", Test_thresholds.suite);
+      ("tally", Test_tally.suite);
+      ("lewko", Test_lewko.suite);
+      ("ben-or", Test_ben_or.suite);
+      ("rbc", Test_rbc.suite);
+      ("bracha", Test_bracha.suite);
+      ("committee", Test_committee.suite);
+      ("classifier", Test_classifier.suite);
+      ("adversary", Test_adversary.suite);
+      ("hamming", Test_hamming.suite);
+      ("product", Test_product.suite);
+      ("talagrand", Test_talagrand.suite);
+      ("interpolation", Test_interpolation.suite);
+      ("theory", Test_theory.suite);
+      ("zk-sets", Test_zk.suite);
+      ("proof-adversary", Test_proof_adversary.suite);
+      ("core", Test_core.suite);
+      ("properties", Test_properties.suite);
+      ("repro", Test_repro.suite);
+      ("syncsim", Test_syncsim.suite);
+      ("shmem", Test_shmem.suite);
+      ("sm-consensus", Test_sm_consensus.suite);
+      ("smoke", Test_smoke.suite);
+    ]

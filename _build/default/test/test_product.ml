@@ -1,0 +1,111 @@
+(* Product probability spaces. *)
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_create_validation () =
+  let bad_sum () = ignore (Lowerbound.Product.create [| [| 0.5; 0.6 |] |]) in
+  let negative () = ignore (Lowerbound.Product.create [| [| 1.2; -0.2 |] |]) in
+  let raised f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad sum" true (raised bad_sum);
+  Alcotest.(check bool) "negative" true (raised negative);
+  Alcotest.(check bool) "empty rows" true
+    (raised (fun () -> ignore (Lowerbound.Product.create [||])))
+
+let test_dims_support () =
+  let p = Lowerbound.Product.create [| [| 0.5; 0.5 |]; [| 0.2; 0.3; 0.5 |] |] in
+  Alcotest.(check int) "dims" 2 (Lowerbound.Product.dims p);
+  Alcotest.(check int) "support 0" 2 (Lowerbound.Product.support p 0);
+  Alcotest.(check int) "support 1" 3 (Lowerbound.Product.support p 1);
+  Alcotest.(check bool) "total outcomes" true
+    (close (Lowerbound.Product.total_outcomes p) 6.0)
+
+let test_prob_exact () =
+  let p = Lowerbound.Product.uniform_bits ~n:4 in
+  Alcotest.(check bool) "P[everything] = 1" true
+    (close (Lowerbound.Product.prob_exact p (fun _ -> true)) 1.0);
+  Alcotest.(check bool) "P[nothing] = 0" true
+    (close (Lowerbound.Product.prob_exact p (fun _ -> false)) 0.0);
+  (* P[first coordinate = 1] = 1/2. *)
+  Alcotest.(check bool) "coordinate marginal" true
+    (close (Lowerbound.Product.prob_exact p (fun x -> x.(0) = 1)) 0.5);
+  (* P[weight = 2 of 4] = 6/16. *)
+  let weight x = Array.fold_left ( + ) 0 x in
+  Alcotest.(check bool) "weight pmf" true
+    (close (Lowerbound.Product.prob_exact p (fun x -> weight x = 2)) (6.0 /. 16.0))
+
+let test_prob_exact_biased () =
+  let p = Lowerbound.Product.bernoulli [| 0.1; 0.9 |] in
+  Alcotest.(check bool) "P[(1,1)] = 0.09" true
+    (close (Lowerbound.Product.prob_exact p (fun x -> x.(0) = 1 && x.(1) = 1)) 0.09)
+
+let test_complement () =
+  let p = Lowerbound.Product.uniform_bits ~n:6 in
+  let predicate x = Array.fold_left ( + ) 0 x >= 4 in
+  let a = Lowerbound.Product.prob_exact p predicate in
+  let b = Lowerbound.Product.prob_exact p (fun x -> not (predicate x)) in
+  Alcotest.(check bool) "P[A] + P[not A] = 1" true (close (a +. b) 1.0)
+
+let test_mc_close_to_exact () =
+  let p = Lowerbound.Product.uniform_bits ~n:10 in
+  let predicate x = Array.fold_left ( + ) 0 x >= 6 in
+  let exact = Lowerbound.Product.prob_exact p predicate in
+  let mc = Lowerbound.Product.prob_mc p ~samples:40_000 ~seed:1 predicate in
+  Alcotest.(check bool) "MC within 2%" true (Float.abs (exact -. mc) < 0.02)
+
+let test_hybrid () =
+  let a = Lowerbound.Product.bernoulli [| 0.0; 0.0; 0.0; 0.0 |] in
+  let b = Lowerbound.Product.bernoulli [| 1.0; 1.0; 1.0; 1.0 |] in
+  let h = Lowerbound.Product.hybrid a b ~j:2 in
+  (* Coordinates < 2 from a (always 0), >= 2 from b (always 1). *)
+  Alcotest.(check bool) "hybrid deterministic" true
+    (close (Lowerbound.Product.prob_exact h (fun x -> x.(0) = 0 && x.(1) = 0 && x.(2) = 1 && x.(3) = 1)) 1.0);
+  let h0 = Lowerbound.Product.hybrid a b ~j:0 in
+  Alcotest.(check bool) "j=0 is second distribution" true
+    (close (Lowerbound.Product.prob_exact h0 (fun x -> Array.for_all (fun v -> v = 1) x)) 1.0)
+
+let test_hybrid_validation () =
+  let a = Lowerbound.Product.uniform_bits ~n:3 in
+  let b = Lowerbound.Product.uniform_bits ~n:4 in
+  let raised f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "dim mismatch" true
+    (raised (fun () -> ignore (Lowerbound.Product.hybrid a b ~j:1)));
+  Alcotest.(check bool) "j out of range" true
+    (raised (fun () -> ignore (Lowerbound.Product.hybrid a a ~j:4)))
+
+let test_sample_distribution () =
+  let p = Lowerbound.Product.bernoulli [| 0.8 |] in
+  let rng = Prng.Stream.root 3 in
+  let ones = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if (Lowerbound.Product.sample p rng).(0) = 1 then incr ones
+  done;
+  let frac = float_of_int !ones /. float_of_int trials in
+  Alcotest.(check bool) "sampling matches pmf" true (frac > 0.78 && frac < 0.82)
+
+let test_coordinate_pmf_is_copy () =
+  let p = Lowerbound.Product.bernoulli [| 0.3; 0.7 |] in
+  let row = Lowerbound.Product.coordinate_pmf p 0 in
+  row.(0) <- 99.0;
+  let again = Lowerbound.Product.coordinate_pmf p 0 in
+  Alcotest.(check bool) "internal pmf unharmed" true (close again.(0) 0.7)
+
+let test_prob_exact_too_large () =
+  let p = Lowerbound.Product.uniform_bits ~n:40 in
+  Alcotest.check_raises "too large" (Invalid_argument "Product.prob_exact: space too large")
+    (fun () -> ignore (Lowerbound.Product.prob_exact p (fun _ -> true)))
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "dims and support" `Quick test_dims_support;
+    Alcotest.test_case "prob exact" `Quick test_prob_exact;
+    Alcotest.test_case "prob exact biased" `Quick test_prob_exact_biased;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "mc close to exact" `Quick test_mc_close_to_exact;
+    Alcotest.test_case "hybrid" `Quick test_hybrid;
+    Alcotest.test_case "hybrid validation" `Quick test_hybrid_validation;
+    Alcotest.test_case "sample distribution" `Quick test_sample_distribution;
+    Alcotest.test_case "coordinate pmf is copy" `Quick test_coordinate_pmf_is_copy;
+    Alcotest.test_case "prob exact too large" `Quick test_prob_exact_too_large;
+  ]

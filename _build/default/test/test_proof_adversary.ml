@@ -1,0 +1,59 @@
+(* The executable Theorem 5 proof adversary (Monte-Carlo Z^k probing +
+   window selection).  Small n only. *)
+
+let protocol = Protocols.Lewko_variant.protocol ()
+
+let config inputs = Dsim.Engine.init ~protocol ~n:7 ~fault_bound:1 ~inputs ~seed:3 ()
+
+let test_level_of_unanimous () =
+  (* All-zero inputs sit inside Z^1_0, hence inside the union at k=1;
+     they are outside the union at k=0 (nobody has decided yet), so the
+     maximal union-free level is 0. *)
+  let rng = Prng.Stream.root 1 in
+  let c = config (Array.make 7 false) in
+  Alcotest.(check int) "unanimous level" 0
+    (Lowerbound.Proof_adversary.level c ~k_max:1 ~samples:6 ~rng)
+
+let test_level_of_split () =
+  (* Split inputs are outside both Z^1 sets: level = k_max. *)
+  let rng = Prng.Stream.root 2 in
+  let c = config (Array.init 7 (fun i -> i mod 2 = 0)) in
+  Alcotest.(check int) "split level" 1
+    (Lowerbound.Proof_adversary.level c ~k_max:1 ~samples:6 ~rng)
+
+let test_windowed_produces_valid_windows () =
+  let strategy = Lowerbound.Proof_adversary.windowed ~k_max:1 ~samples:4 ~seed:5 () in
+  let c = config (Array.init 7 (fun i -> i mod 2 = 0)) in
+  for _ = 1 to 3 do
+    match strategy c with
+    | None -> Alcotest.fail "halted"
+    | Some w -> (
+        match Dsim.Window.validate ~n:7 ~t:1 w with
+        | Ok () -> Dsim.Engine.apply_window c w
+        | Error m -> Alcotest.fail m)
+  done
+
+let test_safety_under_proof_adversary () =
+  (* Whatever the adversary plays, Theorem 4 still holds. *)
+  for seed = 1 to 3 do
+    let inputs = Array.init 7 (fun i -> (i + seed) mod 2 = 0) in
+    let c = Dsim.Engine.init ~protocol ~n:7 ~fault_bound:1 ~inputs ~seed () in
+    let outcome =
+      Dsim.Runner.run_windows c
+        ~strategy:(Lowerbound.Proof_adversary.windowed ~k_max:1 ~samples:4 ~seed ())
+        ~max_windows:60 ~stop:`All_decided
+    in
+    Alcotest.(check bool) "no conflict" false outcome.Dsim.Runner.conflict;
+    let verdict = Agreement.Correctness.of_outcome ~inputs outcome in
+    Alcotest.(check bool) "validity" true verdict.Agreement.Correctness.validity
+  done
+
+let suite =
+  [
+    Alcotest.test_case "level of unanimous" `Quick test_level_of_unanimous;
+    Alcotest.test_case "level of split" `Quick test_level_of_split;
+    Alcotest.test_case "windowed produces valid windows" `Quick
+      test_windowed_produces_valid_windows;
+    Alcotest.test_case "safety under proof adversary" `Quick
+      test_safety_under_proof_adversary;
+  ]

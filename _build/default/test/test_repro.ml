@@ -1,0 +1,43 @@
+(* Integration tests of the reproduction harness: the cheap experiments
+   run end-to-end at quick scale and their invariant columns hold. *)
+
+let rows table = Stats.Table.row_count table
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_e6_constants_table () =
+  let table = Agreement.Repro.e6_theory_constants ~scale:`Quick in
+  Alcotest.(check bool) "has rows" true (rows table > 0);
+  let rendered = Stats.Table.to_string table in
+  (* Inequality (3) must hold in every row: no "no" cells. *)
+  Alcotest.(check bool) "no violations" false (contains rendered "| no ")
+
+let test_e5b_zk_table () =
+  let table = Agreement.Repro.e5b_zk_sets ~scale:`Quick in
+  Alcotest.(check bool) "has rows" true (rows table >= 7);
+  let rendered = Stats.Table.to_string table in
+  Alcotest.(check bool) "all probes pass" false (contains rendered "| no ")
+
+let test_e2_fit_is_exponential () =
+  let _table, fit = Agreement.Repro.e2_exponential_variant ~scale:`Quick in
+  (* The slope is bits per processor; the paper's effect is a genuine
+     exponential, anything clearly positive and well-fitted passes. *)
+  Alcotest.(check bool) "positive slope" true (fit.Stats.Regression.slope > 0.3);
+  Alcotest.(check bool) "good fit" true (fit.Stats.Regression.r_squared > 0.8)
+
+let test_render_markdown () =
+  let table = Agreement.Repro.e6_theory_constants ~scale:`Quick in
+  let md = Agreement.Repro.render_markdown [ ("E6", table) ] in
+  Alcotest.(check bool) "has header" true (contains md "### E6");
+  Alcotest.(check bool) "has code fence" true (contains md "```")
+
+let suite =
+  [
+    Alcotest.test_case "E6 constants table" `Quick test_e6_constants_table;
+    Alcotest.test_case "E5b zk table" `Quick test_e5b_zk_table;
+    Alcotest.test_case "E2 fit is exponential" `Slow test_e2_fit_is_exponential;
+    Alcotest.test_case "render markdown" `Quick test_render_markdown;
+  ]

@@ -1,0 +1,133 @@
+(* Execution loops: stop conditions, budgets, halting, and rejection of
+   invalid windows. *)
+
+let protocol = Protocols.Lewko_variant.protocol ()
+
+let make ?(n = 7) ?(t = 1) ?(seed = 1) ?inputs () =
+  let inputs = Option.value ~default:(Array.init n (fun i -> i mod 2 = 0)) inputs in
+  Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed ()
+
+let test_stop_first_decision () =
+  let config = make ~inputs:(Array.make 7 true) () in
+  let outcome =
+    Dsim.Runner.run_windows config
+      ~strategy:(Adversary.Benign.windowed ())
+      ~max_windows:100 ~stop:`First_decision
+  in
+  Alcotest.(check bool) "stopped" true (outcome.Dsim.Runner.reason = Dsim.Runner.Stopped);
+  Alcotest.(check bool) "at least one decided" true (outcome.Dsim.Runner.decided <> [])
+
+let test_stop_all_decided () =
+  let config = make ~inputs:(Array.make 7 true) () in
+  let outcome =
+    Dsim.Runner.run_windows config
+      ~strategy:(Adversary.Benign.windowed ())
+      ~max_windows:100 ~stop:`All_decided
+  in
+  Alcotest.(check int) "everyone decided" 7 (List.length outcome.Dsim.Runner.decided)
+
+let test_budget_exhausted () =
+  let config = make () in
+  let outcome =
+    Dsim.Runner.run_windows config
+      ~strategy:(fun cfg -> Some (Dsim.Window.uniform ~n:(Dsim.Engine.n cfg) ()))
+      ~max_windows:3 ~stop:`Never
+  in
+  Alcotest.(check bool) "budget exhausted" true
+    (outcome.Dsim.Runner.reason = Dsim.Runner.Budget_exhausted);
+  Alcotest.(check int) "exactly 3 windows" 3 outcome.Dsim.Runner.windows
+
+let test_adversary_halt () =
+  let config = make () in
+  let outcome =
+    Dsim.Runner.run_windows config ~strategy:(fun _ -> None) ~max_windows:10 ~stop:`Never
+  in
+  Alcotest.(check bool) "halted" true
+    (outcome.Dsim.Runner.reason = Dsim.Runner.Adversary_halted);
+  Alcotest.(check int) "no windows" 0 outcome.Dsim.Runner.windows
+
+let test_invalid_window_rejected () =
+  let config = make ~n:7 ~t:1 () in
+  (* A window silencing 2 > t senders violates Definition 1. *)
+  let outcome =
+    Dsim.Runner.run_windows config
+      ~strategy:(fun _ -> Some (Dsim.Window.uniform ~n:7 ~silenced:[ 0; 1 ] ()))
+      ~max_windows:10 ~stop:`Never
+  in
+  (match outcome.Dsim.Runner.reason with
+  | Dsim.Runner.Invalid_window _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_window");
+  Alcotest.(check int) "nothing executed" 0 outcome.Dsim.Runner.windows
+
+let test_too_many_resets_rejected () =
+  let config = make ~n:7 ~t:1 () in
+  let outcome =
+    Dsim.Runner.run_windows config
+      ~strategy:(fun _ -> Some (Dsim.Window.uniform ~n:7 ~resets:[ 0; 1 ] ()))
+      ~max_windows:10 ~stop:`Never
+  in
+  match outcome.Dsim.Runner.reason with
+  | Dsim.Runner.Invalid_window _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_window"
+
+let test_run_steps_budget () =
+  let config = make () in
+  let outcome =
+    Dsim.Runner.run_steps config
+      ~strategy:(Adversary.Benign.lockstep ())
+      ~max_steps:5 ~stop:`Never
+  in
+  Alcotest.(check bool) "budget" true
+    (outcome.Dsim.Runner.reason = Dsim.Runner.Budget_exhausted);
+  Alcotest.(check int) "exactly 5 steps" 5 outcome.Dsim.Runner.steps
+
+let test_outcome_snapshot_consistency () =
+  let config = make ~inputs:(Array.make 7 false) () in
+  let outcome =
+    Dsim.Runner.run_windows config
+      ~strategy:(Adversary.Benign.windowed ())
+      ~max_windows:50 ~stop:`All_decided
+  in
+  (* The outcome must agree with the configuration it snapshots. *)
+  Alcotest.(check int) "windows match" (Dsim.Engine.window_index config)
+    outcome.Dsim.Runner.windows;
+  Alcotest.(check int) "steps match" (Dsim.Engine.step_index config)
+    outcome.Dsim.Runner.steps;
+  Alcotest.(check bool) "decided match" true
+    (outcome.Dsim.Runner.decided = Dsim.Engine.decided_values config);
+  (* Message accounting: everything sent was delivered or dropped. *)
+  let trace = Dsim.Engine.trace config in
+  Alcotest.(check int) "sent = delivered + dropped + pending"
+    (Dsim.Trace.sent trace)
+    (Dsim.Trace.delivered trace + Dsim.Trace.dropped trace
+    + Dsim.Mailbox.size (Dsim.Engine.mailbox config))
+
+let test_first_decision_metadata () =
+  let config = make ~inputs:(Array.make 7 true) () in
+  let outcome =
+    Dsim.Runner.run_windows config
+      ~strategy:(Adversary.Benign.windowed ())
+      ~max_windows:100 ~stop:`All_decided
+  in
+  match outcome.Dsim.Runner.first_decision with
+  | Some (pid, value, step, window, chain) ->
+      Alcotest.(check bool) "pid in range" true (pid >= 0 && pid < 7);
+      Alcotest.(check bool) "value is the unanimous input" true value;
+      Alcotest.(check bool) "step positive" true (step > 0);
+      Alcotest.(check bool) "window sane" true (window >= 0 && window <= outcome.Dsim.Runner.windows);
+      Alcotest.(check bool) "chain depth positive" true (chain >= 1)
+  | None -> Alcotest.fail "expected first decision"
+
+let suite =
+  [
+    Alcotest.test_case "stop first decision" `Quick test_stop_first_decision;
+    Alcotest.test_case "stop all decided" `Quick test_stop_all_decided;
+    Alcotest.test_case "budget exhausted" `Quick test_budget_exhausted;
+    Alcotest.test_case "adversary halt" `Quick test_adversary_halt;
+    Alcotest.test_case "invalid window rejected" `Quick test_invalid_window_rejected;
+    Alcotest.test_case "too many resets rejected" `Quick test_too_many_resets_rejected;
+    Alcotest.test_case "run_steps budget" `Quick test_run_steps_budget;
+    Alcotest.test_case "outcome snapshot consistency" `Quick
+      test_outcome_snapshot_consistency;
+    Alcotest.test_case "first decision metadata" `Quick test_first_decision_metadata;
+  ]

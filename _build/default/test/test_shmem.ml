@@ -1,0 +1,102 @@
+(* Shared-memory registers and the counter-race coin (references
+   [3, 5]). *)
+
+let test_registers_basics () =
+  let r = Shmem.Registers.create ~n:3 in
+  Shmem.Registers.write r ~writer:0 5;
+  Shmem.Registers.write r ~writer:1 (-2);
+  Alcotest.(check int) "read own" 5 (Shmem.Registers.read r ~reader:0 ~owner:0);
+  Alcotest.(check int) "read other" (-2) (Shmem.Registers.read r ~reader:0 ~owner:1);
+  Alcotest.(check int) "sum" 3 (Shmem.Registers.sum r);
+  (* 2 writes + 2 reads counted; peek/sum are free. *)
+  Alcotest.(check int) "operations" 4 (Shmem.Registers.operations r);
+  Alcotest.(check int) "per-processor ops" 3 (Shmem.Registers.operations_of r 0);
+  Alcotest.(check int) "peek free" 5 (Shmem.Registers.peek r 0);
+  Alcotest.(check int) "still 4 ops" 4 (Shmem.Registers.operations r)
+
+let test_registers_copy () =
+  let r = Shmem.Registers.create ~n:2 in
+  Shmem.Registers.write r ~writer:0 1;
+  let c = Shmem.Registers.copy r in
+  Shmem.Registers.write c ~writer:0 9;
+  Alcotest.(check int) "original unchanged" 1 (Shmem.Registers.peek r 0);
+  Alcotest.(check int) "copy changed" 9 (Shmem.Registers.peek c 0)
+
+let run_coin ?(n = 8) ?(seed = 1) ?(scheduler = Shmem.Shared_coin.Round_robin) () =
+  Shmem.Shared_coin.run ~n ~threshold_factor:1.0 ~seed ~scheduler
+    ~max_steps:(5_000 * n * n) ()
+
+let test_coin_completes () =
+  let result = run_coin () in
+  Array.iter
+    (fun o -> Alcotest.(check bool) "everyone outputs" true (o <> None))
+    result.Shmem.Shared_coin.outputs;
+  Alcotest.(check bool) "agreement under round robin" true
+    result.Shmem.Shared_coin.agreed
+
+let test_coin_threshold_reached () =
+  let result = run_coin () in
+  Alcotest.(check bool) "race reached the threshold" true
+    (result.Shmem.Shared_coin.max_abs_sum >= 8)
+
+let test_coin_both_outcomes_occur () =
+  let heads = ref 0 and tails = ref 0 in
+  for seed = 1 to 30 do
+    let result = run_coin ~seed () in
+    match result.Shmem.Shared_coin.outputs.(0) with
+    | Some true -> incr heads
+    | Some false -> incr tails
+    | None -> Alcotest.fail "processor 0 did not finish"
+  done;
+  Alcotest.(check bool) "coin is two-sided" true (!heads > 0 && !tails > 0)
+
+let test_coin_schedulers_terminate () =
+  List.iter
+    (fun scheduler ->
+      let result = run_coin ~scheduler () in
+      Alcotest.(check bool) "finished within budget" true
+        (Array.for_all (fun o -> o <> None) result.Shmem.Shared_coin.outputs))
+    [ Shmem.Shared_coin.Round_robin; Shmem.Shared_coin.Random 3; Shmem.Shared_coin.Stalling ]
+
+let test_coin_step_complexity_quadratic () =
+  (* steps/n^2 must not blow up with n (the amortized-collect shape). *)
+  let ratio n =
+    let s = ref Stats.Summary.empty in
+    for seed = 1 to 10 do
+      let r = run_coin ~n ~seed () in
+      s := Stats.Summary.add_int !s r.Shmem.Shared_coin.total_steps
+    done;
+    Stats.Summary.mean !s /. float_of_int (n * n)
+  in
+  let r8 = ratio 8 and r32 = ratio 32 in
+  Alcotest.(check bool) "quadratic-ish scaling" true (r32 < r8 *. 4.0)
+
+let test_coin_agreement_rate_under_attack () =
+  (* A weak shared coin: adversarial scheduling may break agreement
+     sometimes, but not usually. *)
+  let agreed = ref 0 in
+  for seed = 1 to 30 do
+    let r = run_coin ~scheduler:Shmem.Shared_coin.Stalling ~seed () in
+    if r.Shmem.Shared_coin.agreed then incr agreed
+  done;
+  Alcotest.(check bool) "agreement mostly survives stalling" true (!agreed >= 20)
+
+let test_coin_determinism () =
+  let a = run_coin ~seed:5 () and b = run_coin ~seed:5 () in
+  Alcotest.(check bool) "same seed same race" true
+    (a.Shmem.Shared_coin.total_steps = b.Shmem.Shared_coin.total_steps
+    && a.Shmem.Shared_coin.outputs = b.Shmem.Shared_coin.outputs)
+
+let suite =
+  [
+    Alcotest.test_case "registers basics" `Quick test_registers_basics;
+    Alcotest.test_case "registers copy" `Quick test_registers_copy;
+    Alcotest.test_case "coin completes" `Quick test_coin_completes;
+    Alcotest.test_case "coin threshold reached" `Quick test_coin_threshold_reached;
+    Alcotest.test_case "coin both outcomes occur" `Quick test_coin_both_outcomes_occur;
+    Alcotest.test_case "coin schedulers terminate" `Quick test_coin_schedulers_terminate;
+    Alcotest.test_case "coin step complexity" `Quick test_coin_step_complexity_quadratic;
+    Alcotest.test_case "coin agreement under attack" `Quick
+      test_coin_agreement_rate_under_attack;
+    Alcotest.test_case "coin determinism" `Quick test_coin_determinism;
+  ]

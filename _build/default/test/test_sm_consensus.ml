@@ -1,0 +1,71 @@
+(* Shared-memory consensus (Aspnes-Herlihy structure over the
+   counter-race coin). *)
+
+let run ?(n = 8) ?(seed = 1) ?(scheduler = Shmem.Shared_coin.Round_robin) ?inputs () =
+  let inputs = Option.value ~default:(Array.init n (fun i -> i mod 2 = 0)) inputs in
+  Shmem.Sm_consensus.run ~n ~inputs ~seed ~scheduler ~max_steps:(50_000 * n * n) ()
+
+let test_unanimous_no_coin () =
+  let r = run ~inputs:(Array.make 8 true) () in
+  Array.iter
+    (fun o -> Alcotest.(check bool) "decides unanimous input" true (o = Some true))
+    r.Shmem.Sm_consensus.outputs;
+  Alcotest.(check int) "no coin needed" 0 r.Shmem.Sm_consensus.coin_rounds;
+  Alcotest.(check bool) "valid" true r.Shmem.Sm_consensus.valid
+
+let test_split_terminates_and_agrees () =
+  for seed = 1 to 15 do
+    let r = run ~seed () in
+    Array.iter
+      (fun o -> Alcotest.(check bool) "everyone decides" true (o <> None))
+      r.Shmem.Sm_consensus.outputs;
+    Alcotest.(check bool) "agreement" true r.Shmem.Sm_consensus.agreed;
+    Alcotest.(check bool) "validity" true r.Shmem.Sm_consensus.valid
+  done
+
+let test_agreement_under_schedulers () =
+  List.iter
+    (fun scheduler ->
+      for seed = 1 to 10 do
+        let r = run ~seed ~scheduler () in
+        Alcotest.(check bool) "agreement" true r.Shmem.Sm_consensus.agreed;
+        Alcotest.(check bool) "validity" true r.Shmem.Sm_consensus.valid;
+        Alcotest.(check bool) "termination" true
+          (Array.for_all (fun o -> o <> None) r.Shmem.Sm_consensus.outputs)
+      done)
+    [ Shmem.Shared_coin.Random 3; Shmem.Shared_coin.Stalling ]
+
+let test_both_outcomes_reachable () =
+  let zeros = ref 0 and ones = ref 0 in
+  for seed = 1 to 30 do
+    let r = run ~seed () in
+    match r.Shmem.Sm_consensus.outputs.(0) with
+    | Some true -> incr ones
+    | Some false -> incr zeros
+    | None -> Alcotest.fail "undecided"
+  done;
+  Alcotest.(check bool) "both values occur" true (!zeros > 0 && !ones > 0)
+
+let test_rounds_stay_small () =
+  (* Constant expected rounds: even adversarial scheduling should not
+     push the round count anywhere near the step budget. *)
+  let worst = ref 0 in
+  for seed = 1 to 10 do
+    let r = run ~seed ~scheduler:Shmem.Shared_coin.Stalling () in
+    worst := max !worst r.Shmem.Sm_consensus.rounds
+  done;
+  Alcotest.(check bool) "rounds bounded" true (!worst < 30)
+
+let test_determinism () =
+  let a = run ~seed:4 () and b = run ~seed:4 () in
+  Alcotest.(check bool) "same seed same run" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "unanimous no coin" `Quick test_unanimous_no_coin;
+    Alcotest.test_case "split terminates and agrees" `Quick test_split_terminates_and_agrees;
+    Alcotest.test_case "agreement under schedulers" `Quick test_agreement_under_schedulers;
+    Alcotest.test_case "both outcomes reachable" `Quick test_both_outcomes_reachable;
+    Alcotest.test_case "rounds stay small" `Quick test_rounds_stay_small;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

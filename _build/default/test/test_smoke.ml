@@ -1,0 +1,151 @@
+(* End-to-end smoke tests: the variant algorithm under simple window
+   adversaries.  Deeper per-module suites live in their own files. *)
+
+let run_variant ~n ~t ~inputs ~seed ~strategy ~max_windows =
+  let protocol = Protocols.Lewko_variant.protocol () in
+  let config =
+    Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed ()
+  in
+  Dsim.Runner.run_windows config ~strategy ~max_windows ~stop:`All_decided
+
+let test_unanimous_zero () =
+  let n = 12 in
+  let outcome =
+    run_variant ~n ~t:1 ~inputs:(Array.make n false) ~seed:1
+      ~strategy:(Adversary.Benign.windowed ()) ~max_windows:10
+  in
+  Alcotest.(check int) "all decide" n (List.length outcome.Dsim.Runner.decided);
+  (* Unanimous inputs decide within the very first acceptable window:
+     everyone's first T1 votes already show T2 agreement. *)
+  Alcotest.(check int) "first window" 1 outcome.Dsim.Runner.windows;
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "decision is 0" false v)
+    outcome.Dsim.Runner.decided
+
+let test_unanimous_one () =
+  let n = 12 in
+  let outcome =
+    run_variant ~n ~t:1 ~inputs:(Array.make n true) ~seed:2
+      ~strategy:(Adversary.Benign.windowed ()) ~max_windows:10
+  in
+  Alcotest.(check int) "all decide" n (List.length outcome.Dsim.Runner.decided);
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "decision is 1" true v)
+    outcome.Dsim.Runner.decided
+
+let test_split_inputs_terminate_benign () =
+  let n = 12 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let outcome =
+    run_variant ~n ~t:1 ~inputs ~seed:3 ~strategy:(Adversary.Benign.windowed ())
+      ~max_windows:200
+  in
+  Alcotest.(check bool) "terminates" true (outcome.Dsim.Runner.decided <> []);
+  Alcotest.(check bool) "no conflict" false outcome.Dsim.Runner.conflict
+
+let test_reset_storm_correct () =
+  let n = 13 and t = 2 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let outcome =
+    run_variant ~n ~t ~inputs ~seed:4
+      ~strategy:(Adversary.Reset_storm.random ~seed:99 ())
+      ~max_windows:2000
+  in
+  Alcotest.(check bool) "no conflict under resets" false outcome.Dsim.Runner.conflict;
+  Alcotest.(check bool) "some processor decided" true (outcome.Dsim.Runner.decided <> [])
+
+let run_steps protocol ~n ~t ~inputs ~seed ~strategy ~max_steps =
+  let config = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+  Dsim.Runner.run_steps config ~strategy ~max_steps ~stop:`All_decided
+
+let test_ben_or_unanimous () =
+  let n = 9 in
+  let outcome =
+    run_steps (Protocols.Ben_or.protocol ()) ~n ~t:2 ~inputs:(Array.make n true)
+      ~seed:5 ~strategy:(Adversary.Benign.lockstep ()) ~max_steps:20_000
+  in
+  Alcotest.(check int) "all decide" n (List.length outcome.Dsim.Runner.decided);
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "decision is 1" true v)
+    outcome.Dsim.Runner.decided
+
+let test_ben_or_split () =
+  let n = 9 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let outcome =
+    run_steps (Protocols.Ben_or.protocol ()) ~n ~t:2 ~inputs ~seed:6
+      ~strategy:(Adversary.Benign.lockstep ()) ~max_steps:200_000
+  in
+  Alcotest.(check bool) "terminates" true (outcome.Dsim.Runner.decided <> []);
+  Alcotest.(check bool) "no conflict" false outcome.Dsim.Runner.conflict
+
+let test_bracha_unanimous () =
+  let n = 7 in
+  let outcome =
+    run_steps (Protocols.Bracha.protocol ()) ~n ~t:2 ~inputs:(Array.make n false)
+      ~seed:7 ~strategy:(Adversary.Benign.lockstep ()) ~max_steps:100_000
+  in
+  Alcotest.(check int) "all decide" n (List.length outcome.Dsim.Runner.decided);
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "decision is 0" false v)
+    outcome.Dsim.Runner.decided
+
+let test_bracha_split () =
+  let n = 7 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let outcome =
+    run_steps (Protocols.Bracha.protocol ()) ~n ~t:2 ~inputs ~seed:8
+      ~strategy:(Adversary.Benign.lockstep ()) ~max_steps:400_000
+  in
+  Alcotest.(check bool) "terminates" true (outcome.Dsim.Runner.decided <> []);
+  Alcotest.(check bool) "no conflict" false outcome.Dsim.Runner.conflict
+
+let test_disciplines_agree () =
+  (* The windowed benign schedule and the free-running lockstep deliver
+     the same messages in the same per-recipient order, so for the
+     variant protocol the two disciplines must produce identical
+     decisions round for round, given the same seed. *)
+  for seed = 1 to 5 do
+    let n = 9 in
+    let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+    let windowed =
+      let config =
+        Dsim.Engine.init ~protocol:(Protocols.Lewko_variant.protocol ()) ~n
+          ~fault_bound:1 ~inputs ~seed ()
+      in
+      let outcome =
+        Dsim.Runner.run_windows config
+          ~strategy:(Adversary.Benign.windowed ())
+          ~max_windows:5_000 ~stop:`All_decided
+      in
+      (List.sort compare outcome.Dsim.Runner.decided, Dsim.Engine.window_index config)
+    in
+    let stepwise =
+      let config =
+        Dsim.Engine.init ~protocol:(Protocols.Lewko_variant.protocol ()) ~n
+          ~fault_bound:1 ~inputs ~seed ()
+      in
+      let outcome =
+        Dsim.Runner.run_steps config
+          ~strategy:(Adversary.Benign.lockstep ())
+          ~max_steps:5_000_000 ~stop:`All_decided
+      in
+      List.sort compare outcome.Dsim.Runner.decided
+    in
+    Alcotest.(check (list (pair int bool))) "same decisions" (fst windowed) stepwise
+  done
+
+let suite =
+  [
+    Alcotest.test_case "unanimous zero decides zero" `Quick test_unanimous_zero;
+    Alcotest.test_case "window and lockstep disciplines agree" `Quick
+      test_disciplines_agree;
+    Alcotest.test_case "unanimous one decides one" `Quick test_unanimous_one;
+    Alcotest.test_case "split inputs terminate (benign)" `Quick
+      test_split_inputs_terminate_benign;
+    Alcotest.test_case "reset storm stays correct" `Quick test_reset_storm_correct;
+    Alcotest.test_case "ben-or unanimous" `Quick test_ben_or_unanimous;
+    Alcotest.test_case "ben-or split terminates" `Quick test_ben_or_split;
+    Alcotest.test_case "bracha unanimous" `Quick test_bracha_unanimous;
+    Alcotest.test_case "bracha split terminates" `Quick test_bracha_split;
+  ]

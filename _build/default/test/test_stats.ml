@@ -1,0 +1,249 @@
+(* Tests for the statistics substrate: summaries, histograms,
+   regression fits, tail bounds and table rendering. *)
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_summary_basic () =
+  let s = Stats.Summary.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  Alcotest.(check bool) "mean" true (close (Stats.Summary.mean s) 2.5);
+  Alcotest.(check bool) "variance" true
+    (close (Stats.Summary.variance s) (5.0 /. 3.0));
+  Alcotest.(check bool) "min" true (close (Stats.Summary.min_value s) 1.0);
+  Alcotest.(check bool) "max" true (close (Stats.Summary.max_value s) 4.0);
+  Alcotest.(check bool) "total" true (close (Stats.Summary.total s) 10.0)
+
+let test_summary_empty () =
+  let s = Stats.Summary.empty in
+  Alcotest.(check int) "count" 0 (Stats.Summary.count s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Summary.mean s));
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Stats.Summary.variance s))
+
+let test_summary_single () =
+  let s = Stats.Summary.of_list [ 5.0 ] in
+  Alcotest.(check bool) "mean" true (close (Stats.Summary.mean s) 5.0);
+  Alcotest.(check bool) "variance nan with one sample" true
+    (Float.is_nan (Stats.Summary.variance s))
+
+let test_summary_merge () =
+  let a = Stats.Summary.of_list [ 1.0; 2.0; 3.0 ] in
+  let b = Stats.Summary.of_list [ 10.0; 20.0 ] in
+  let merged = Stats.Summary.merge a b in
+  let direct = Stats.Summary.of_list [ 1.0; 2.0; 3.0; 10.0; 20.0 ] in
+  Alcotest.(check int) "count" (Stats.Summary.count direct) (Stats.Summary.count merged);
+  Alcotest.(check bool) "mean" true
+    (close (Stats.Summary.mean merged) (Stats.Summary.mean direct));
+  Alcotest.(check bool) "variance" true
+    (close ~eps:1e-9 (Stats.Summary.variance merged) (Stats.Summary.variance direct))
+
+let test_summary_merge_empty () =
+  let a = Stats.Summary.of_list [ 1.0; 2.0 ] in
+  let m1 = Stats.Summary.merge a Stats.Summary.empty in
+  let m2 = Stats.Summary.merge Stats.Summary.empty a in
+  Alcotest.(check bool) "merge right empty" true
+    (close (Stats.Summary.mean m1) (Stats.Summary.mean a));
+  Alcotest.(check bool) "merge left empty" true
+    (close (Stats.Summary.mean m2) (Stats.Summary.mean a))
+
+let test_summary_ci () =
+  (* 100 identical observations: zero variance, zero CI width. *)
+  let s = Stats.Summary.of_list (List.init 100 (fun _ -> 5.0)) in
+  Alcotest.(check bool) "zero ci" true (close (Stats.Summary.ci95_half_width s) 0.0);
+  (* Known case: sd = 1 over 100 samples -> half width 0.196. *)
+  let alternating = List.init 100 (fun i -> if i mod 2 = 0 then 1.0 else -1.0) in
+  let s = Stats.Summary.of_list alternating in
+  Alcotest.(check bool) "ci from sd/sqrt(n)" true
+    (Float.abs (Stats.Summary.ci95_half_width s -. (1.96 *. Stats.Summary.stddev s /. 10.0))
+    < 1e-9)
+
+let test_histogram_density () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 1; 1; 2; 5; 5; 5 ];
+  Alcotest.(check int) "count" 6 (Stats.Histogram.count h);
+  let density = Stats.Histogram.density h in
+  Alcotest.(check int) "buckets" 3 (List.length density);
+  let frac_of k = List.assoc k density in
+  Alcotest.(check bool) "bucket 1" true (close (frac_of 1) (2.0 /. 6.0));
+  Alcotest.(check bool) "bucket 5" true (close (frac_of 5) (3.0 /. 6.0))
+
+let test_histogram_survival () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 1; 2; 3; 4 ];
+  let survival = Stats.Histogram.survival h in
+  Alcotest.(check int) "points" 4 (List.length survival);
+  (* Survival is non-increasing and ends at zero. *)
+  let probs = List.map snd survival in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-increasing" true (non_increasing probs);
+  Alcotest.(check bool) "ends at 0" true (close (List.nth probs 3) 0.0);
+  Alcotest.(check bool) "first is 3/4" true (close (List.hd probs) 0.75)
+
+let test_histogram_quantile () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) (List.init 100 (fun i -> i));
+  Alcotest.(check int) "median" 49 (Stats.Histogram.quantile h 0.5);
+  Alcotest.(check int) "p90" 89 (Stats.Histogram.quantile h 0.9);
+  Alcotest.(check int) "min" 0 (Stats.Histogram.quantile h 0.0)
+
+let test_histogram_bucket_width () =
+  let h = Stats.Histogram.create ~bucket_width:10 () in
+  List.iter (Stats.Histogram.add h) [ 3; 7; 12; 25 ];
+  Alcotest.(check int) "three buckets" 3 (Stats.Histogram.bucket_count h)
+
+let test_histogram_negative () =
+  let h = Stats.Histogram.create () in
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Histogram.add: negative observation") (fun () ->
+      Stats.Histogram.add h (-1))
+
+let test_regression_exact_line () =
+  let fit = Stats.Regression.linear [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  Alcotest.(check bool) "slope 2" true (close fit.Stats.Regression.slope 2.0);
+  Alcotest.(check bool) "intercept 1" true (close fit.Stats.Regression.intercept 1.0);
+  Alcotest.(check bool) "r2 = 1" true (close fit.Stats.Regression.r_squared 1.0)
+
+let test_regression_log2 () =
+  (* y = 2^(0.5 x + 1) *)
+  let points = List.map (fun x -> (x, 2.0 ** ((0.5 *. x) +. 1.0))) [ 1.0; 2.0; 3.0; 4.0 ] in
+  let fit = Stats.Regression.log2_linear points in
+  Alcotest.(check bool) "slope 0.5" true (close ~eps:1e-6 fit.Stats.Regression.slope 0.5);
+  Alcotest.(check bool) "intercept 1" true
+    (close ~eps:1e-6 fit.Stats.Regression.intercept 1.0)
+
+let test_regression_loglog () =
+  (* y = x^3 *)
+  let points = List.map (fun x -> (x, x ** 3.0)) [ 1.0; 2.0; 4.0; 8.0 ] in
+  let fit = Stats.Regression.loglog points in
+  Alcotest.(check bool) "degree 3" true (close ~eps:1e-6 fit.Stats.Regression.slope 3.0)
+
+let test_regression_degenerate () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Regression.linear: need at least two points") (fun () ->
+      ignore (Stats.Regression.linear [ (1.0, 1.0) ]));
+  Alcotest.check_raises "vertical"
+    (Invalid_argument "Regression.linear: all x values identical") (fun () ->
+      ignore (Stats.Regression.linear [ (1.0, 1.0); (1.0, 2.0) ]))
+
+let test_tail_binomial_pmf_sums () =
+  let n = 12 in
+  let total = ref 0.0 in
+  for k = 0 to n do
+    total := !total +. Stats.Tail.binomial_pmf n 0.3 k
+  done;
+  Alcotest.(check bool) "pmf sums to 1" true (close ~eps:1e-9 !total 1.0)
+
+let test_tail_binomial_symmetry () =
+  (* For p = 1/2, P[X >= k] = P[X <= n-k]. *)
+  let n = 10 in
+  let upper = Stats.Tail.binomial_tail_ge n 0.5 7 in
+  let lower = 1.0 -. Stats.Tail.binomial_tail_ge n 0.5 4 in
+  Alcotest.(check bool) "symmetry" true (close ~eps:1e-9 upper lower)
+
+let test_tail_binomial_exact_value () =
+  (* P[Bin(4, 1/2) >= 3] = (4 + 1)/16. *)
+  Alcotest.(check bool) "exact" true
+    (close ~eps:1e-12 (Stats.Tail.binomial_tail_ge 4 0.5 3) (5.0 /. 16.0))
+
+let test_tail_edges () =
+  Alcotest.(check bool) "k <= 0 is 1" true (close (Stats.Tail.binomial_tail_ge 5 0.5 0) 1.0);
+  Alcotest.(check bool) "k > n is 0" true (close (Stats.Tail.binomial_tail_ge 5 0.5 6) 0.0);
+  Alcotest.(check bool) "p = 0" true (close (Stats.Tail.binomial_tail_ge 5 0.0 1) 0.0);
+  Alcotest.(check bool) "p = 1" true (close (Stats.Tail.binomial_tail_ge 5 1.0 5) 1.0)
+
+let test_tail_hoeffding_dominates () =
+  (* The Hoeffding bound must upper-bound the exact tail deviation. *)
+  let n = 40 in
+  List.iter
+    (fun eps ->
+      let k = int_of_float (ceil ((0.5 +. eps) *. float_of_int n)) in
+      let exact = Stats.Tail.binomial_tail_ge n 0.5 k in
+      Alcotest.(check bool) "hoeffding >= exact" true
+        (Stats.Tail.hoeffding_upper n eps +. 1e-12 >= exact))
+    [ 0.1; 0.2; 0.3 ]
+
+let test_tail_paper_quantities () =
+  let n = 64 and t = 8 in
+  Alcotest.(check bool) "tau in (0,1)" true
+    (Stats.Tail.tau ~n ~t > 0.0 && Stats.Tail.tau ~n ~t < 1.0);
+  Alcotest.(check bool) "eta > tau (weaker exponent)" true
+    (Stats.Tail.eta ~n ~t > Stats.Tail.tau ~n ~t);
+  Alcotest.(check bool) "all-agree = 2^(1-n)" true
+    (close (Stats.Tail.all_agree_probability 5) (1.0 /. 16.0));
+  Alcotest.(check bool) "talagrand bound at d=0 is 1" true
+    (close (Stats.Tail.talagrand_bound ~n ~d:0.0) 1.0)
+
+let test_log_choose () =
+  let close_log a b = Float.abs (a -. b) < 1e-9 in
+  Alcotest.(check bool) "C(5,2) = 10" true
+    (close_log (Stats.Tail.log_choose 5 2) (log 10.0));
+  Alcotest.(check bool) "C(n,0) = 1" true (close_log (Stats.Tail.log_choose 9 0) 0.0);
+  Alcotest.(check bool) "out of range" true
+    (Stats.Tail.log_choose 5 6 = neg_infinity)
+
+let test_table_render () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Stats.Table.add_row t [ Stats.Table.I 1; Stats.Table.S "x" ];
+  Stats.Table.add_row t [ Stats.Table.Pct 0.5; Stats.Table.B true ];
+  Alcotest.(check int) "rows" 2 (Stats.Table.row_count t);
+  let rendered = Stats.Table.to_string t in
+  Alcotest.(check bool) "has title" true
+    (String.length rendered > 0
+    && String.sub rendered 0 7 = "## demo");
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "contains 50.0%" true (contains rendered "50.0%");
+  Alcotest.(check bool) "contains yes" true (contains rendered "yes")
+
+let test_table_csv () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Stats.Table.add_row t [ Stats.Table.S "plain"; Stats.Table.F 1.5 ];
+  Stats.Table.add_row t [ Stats.Table.S "a,b \"quoted\""; Stats.Table.Pct 0.25 ];
+  Stats.Table.add_row t [ Stats.Table.S "nan"; Stats.Table.F nan ];
+  let csv = Stats.Table.to_csv t in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + 3 rows" 4 (List.length lines);
+  Alcotest.(check string) "header" "name,value" (List.hd lines);
+  Alcotest.(check string) "plain row" "plain,1.5" (List.nth lines 1);
+  Alcotest.(check string) "escaped row" "\"a,b \"\"quoted\"\"\",0.25" (List.nth lines 2);
+  Alcotest.(check string) "nan empty" "nan," (List.nth lines 3)
+
+let test_table_arity () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Stats.Table.add_row t [ Stats.Table.I 1 ])
+
+let suite =
+  [
+    Alcotest.test_case "summary basic" `Quick test_summary_basic;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary single" `Quick test_summary_single;
+    Alcotest.test_case "summary merge" `Quick test_summary_merge;
+    Alcotest.test_case "summary merge empty" `Quick test_summary_merge_empty;
+    Alcotest.test_case "summary ci" `Quick test_summary_ci;
+    Alcotest.test_case "histogram density" `Quick test_histogram_density;
+    Alcotest.test_case "histogram survival" `Quick test_histogram_survival;
+    Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+    Alcotest.test_case "histogram bucket width" `Quick test_histogram_bucket_width;
+    Alcotest.test_case "histogram negative" `Quick test_histogram_negative;
+    Alcotest.test_case "regression exact line" `Quick test_regression_exact_line;
+    Alcotest.test_case "regression log2" `Quick test_regression_log2;
+    Alcotest.test_case "regression loglog" `Quick test_regression_loglog;
+    Alcotest.test_case "regression degenerate" `Quick test_regression_degenerate;
+    Alcotest.test_case "binomial pmf sums" `Quick test_tail_binomial_pmf_sums;
+    Alcotest.test_case "binomial symmetry" `Quick test_tail_binomial_symmetry;
+    Alcotest.test_case "binomial exact value" `Quick test_tail_binomial_exact_value;
+    Alcotest.test_case "tail edges" `Quick test_tail_edges;
+    Alcotest.test_case "hoeffding dominates" `Quick test_tail_hoeffding_dominates;
+    Alcotest.test_case "paper quantities" `Quick test_tail_paper_quantities;
+    Alcotest.test_case "log choose" `Quick test_log_choose;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table csv" `Quick test_table_csv;
+    Alcotest.test_case "table arity" `Quick test_table_arity;
+  ]

@@ -1,0 +1,92 @@
+(* The synchronous engine, margin consensus, and the coin-killing
+   adversary (the Bar-Joseph–Ben-Or setting, reference [6]). *)
+
+let run ?(n = 16) ?(t = 4) ?(seed = 1) ?inputs ?(adversary = Syncsim.Sync_engine.no_faults)
+    ?(max_rounds = 10_000) () =
+  let inputs = Option.value ~default:(Array.init n (fun i -> i mod 2 = 0)) inputs in
+  Syncsim.Sync_engine.run ~protocol:Syncsim.Sync_consensus.protocol ~n ~t ~inputs ~seed
+    ~adversary ~max_rounds
+
+let test_unanimous_one_round () =
+  let outcome = run ~inputs:(Array.make 16 true) () in
+  Alcotest.(check int) "one round" 1 outcome.Syncsim.Sync_engine.rounds;
+  Alcotest.(check int) "all decide" 16 (List.length outcome.Syncsim.Sync_engine.decided);
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "unanimous value" true v)
+    outcome.Syncsim.Sync_engine.decided
+
+let test_split_terminates_fault_free () =
+  for seed = 1 to 10 do
+    let outcome = run ~seed () in
+    Alcotest.(check bool) "terminates" true outcome.Syncsim.Sync_engine.terminated;
+    Alcotest.(check bool) "no conflict" false outcome.Syncsim.Sync_engine.conflict
+  done
+
+let test_validity_zero () =
+  let outcome = run ~inputs:(Array.make 16 false) () in
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "decides 0" false v)
+    outcome.Syncsim.Sync_engine.decided
+
+let test_crash_early_tolerated () =
+  for seed = 1 to 10 do
+    let outcome = run ~seed ~adversary:(Syncsim.Sync_adversary.crash_early ()) () in
+    Alcotest.(check bool) "terminates" true outcome.Syncsim.Sync_engine.terminated;
+    Alcotest.(check bool) "no conflict" false outcome.Syncsim.Sync_engine.conflict;
+    Alcotest.(check int) "budget fully spent" 4 outcome.Syncsim.Sync_engine.crashes_used
+  done
+
+let test_coin_killing_slows_but_safe () =
+  let benign = ref Stats.Summary.empty and killed = ref Stats.Summary.empty in
+  for seed = 1 to 20 do
+    let a = run ~n:32 ~t:8 ~seed () in
+    let b = run ~n:32 ~t:8 ~seed ~adversary:(Syncsim.Sync_adversary.balancing ()) () in
+    benign := Stats.Summary.add_int !benign a.Syncsim.Sync_engine.rounds;
+    killed := Stats.Summary.add_int !killed b.Syncsim.Sync_engine.rounds;
+    Alcotest.(check bool) "safe under killing" false b.Syncsim.Sync_engine.conflict;
+    Alcotest.(check bool) "still terminates" true b.Syncsim.Sync_engine.terminated;
+    Alcotest.(check bool) "budget respected" true
+      (b.Syncsim.Sync_engine.crashes_used <= 8)
+  done;
+  Alcotest.(check bool) "killing costs rounds" true
+    (Stats.Summary.mean !killed > Stats.Summary.mean !benign)
+
+let test_partial_split_safe () =
+  for seed = 1 to 10 do
+    let outcome =
+      run ~seed ~adversary:(Syncsim.Sync_adversary.partial_split ()) ()
+    in
+    Alcotest.(check bool) "no conflict under partial delivery" false
+      outcome.Syncsim.Sync_engine.conflict;
+    Alcotest.(check bool) "terminates" true outcome.Syncsim.Sync_engine.terminated
+  done
+
+let test_budget_enforced () =
+  let greedy _view =
+    { Syncsim.Sync_engine.crash = [ 0; 1; 2; 3; 4; 5 ]; partial_delivery = [] }
+  in
+  let raised =
+    try
+      ignore (run ~t:4 ~adversary:greedy ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "over-budget intervention rejected" true raised
+
+let test_determinism () =
+  let a = run ~seed:9 () and b = run ~seed:9 () in
+  Alcotest.(check bool) "same seed same outcome" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "unanimous one round" `Quick test_unanimous_one_round;
+    Alcotest.test_case "split terminates fault-free" `Quick
+      test_split_terminates_fault_free;
+    Alcotest.test_case "validity zero" `Quick test_validity_zero;
+    Alcotest.test_case "crash early tolerated" `Quick test_crash_early_tolerated;
+    Alcotest.test_case "coin killing slows but safe" `Quick
+      test_coin_killing_slows_but_safe;
+    Alcotest.test_case "partial split safe" `Quick test_partial_split_safe;
+    Alcotest.test_case "budget enforced" `Quick test_budget_enforced;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

@@ -1,0 +1,115 @@
+(* Talagrand machinery: set descriptors, expansion, and the Lemma 9
+   check. *)
+
+module T = Lowerbound.Talagrand
+
+let test_mem () =
+  Alcotest.(check bool) "weight_ge" true (T.mem (T.Weight_ge 2) [| 1; 1; 0 |]);
+  Alcotest.(check bool) "weight_ge fails" false (T.mem (T.Weight_ge 3) [| 1; 1; 0 |]);
+  Alcotest.(check bool) "weight_le" true (T.mem (T.Weight_le 1) [| 0; 1; 0 |]);
+  Alcotest.(check bool) "ball" true
+    (T.mem (T.Ball { center = [| 0; 0; 0 |]; radius = 1 }) [| 0; 1; 0 |]);
+  Alcotest.(check bool) "ball fails" false
+    (T.mem (T.Ball { center = [| 0; 0; 0 |]; radius = 1 }) [| 1; 1; 0 |]);
+  Alcotest.(check bool) "explicit member" true
+    (T.mem (T.explicit [ [| 1; 2 |] ]) [| 1; 2 |]);
+  Alcotest.(check bool) "explicit near" true
+    (T.mem (T.Near { points = [ [| 1; 2 |] ]; slack = 1 }) [| 1; 3 |])
+
+let test_expand () =
+  (* B(A, d) must contain exactly the points within d of A. *)
+  let a = T.Weight_ge 5 in
+  (match T.expand a 2 with
+  | T.Weight_ge 3 -> ()
+  | _ -> Alcotest.fail "weight expansion");
+  (match T.expand (T.Weight_ge 1) 3 with
+  | T.Weight_ge 0 -> ()
+  | _ -> Alcotest.fail "weight expansion clamps at 0");
+  (match T.expand (T.Ball { center = [| 0 |]; radius = 1 }) 2 with
+  | T.Ball { radius = 3; _ } -> ()
+  | _ -> Alcotest.fail "ball expansion");
+  match T.expand (T.explicit [ [| 0; 0 |] ]) 1 with
+  | T.Near { slack = 1; _ } -> ()
+  | _ -> Alcotest.fail "near expansion"
+
+let test_expansion_semantics () =
+  (* For every point x and descriptor A: x in B(A, d) iff there is a
+     point a in A with distance <= d.  Check exhaustively on n = 6
+     binary strings for a weight set. *)
+  let n = 6 in
+  let a = T.Weight_ge 4 in
+  let expansion = T.expand a 2 in
+  let points =
+    List.init (1 lsl n) (fun bits -> Array.init n (fun i -> (bits lsr i) land 1))
+  in
+  let members = List.filter (T.mem a) points in
+  List.iter
+    (fun x ->
+      let brute =
+        List.exists (fun m -> Lowerbound.Hamming.distance_int x m <= 2) members
+      in
+      Alcotest.(check bool) "expansion matches brute force" brute (T.mem expansion x))
+    points
+
+let test_set_distance () =
+  Alcotest.(check (option int)) "weight sets" (Some 3)
+    (T.set_distance (T.Weight_ge 7) (T.Weight_le 4));
+  Alcotest.(check (option int)) "overlapping weight sets" (Some 0)
+    (T.set_distance (T.Weight_ge 3) (T.Weight_le 4));
+  Alcotest.(check (option int)) "explicit sets" (Some 2)
+    (T.set_distance (T.explicit [ [| 0; 0; 0 |] ]) (T.explicit [ [| 1; 1; 0 |] ]));
+  Alcotest.(check (option int)) "near slack subtracts" (Some 1)
+    (T.set_distance
+       (T.Near { points = [ [| 0; 0; 0 |] ]; slack = 1 })
+       (T.explicit [ [| 1; 1; 0 |] ]));
+  Alcotest.(check (option int)) "unsupported pair" None
+    (T.set_distance (T.Weight_ge 3) (T.Ball { center = [| 0 |]; radius = 1 }))
+
+let test_check_exact_holds () =
+  let space = Lowerbound.Product.uniform_bits ~n:12 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun d ->
+          let c = T.check space (T.Weight_ge k) ~d in
+          Alcotest.(check bool)
+            (Printf.sprintf "lemma holds k=%d d=%d" k d)
+            true c.T.holds)
+        [ 1; 3; 6 ])
+    [ 7; 9; 11 ]
+
+let test_check_biased_space () =
+  (* Lemma 9 is for arbitrary product measures, not just uniform. *)
+  let space = Lowerbound.Product.bernoulli (Array.init 10 (fun i -> 0.1 +. (0.08 *. float_of_int i))) in
+  List.iter
+    (fun d ->
+      let c = T.check space (T.Weight_ge 6) ~d in
+      Alcotest.(check bool) "holds on biased space" true c.T.holds)
+    [ 2; 4 ]
+
+let test_check_values () =
+  (* d = 0: B(A, 0) = A, so lhs = P(A)(1 - P(A)) <= 1/4 <= bound = 1. *)
+  let space = Lowerbound.Product.uniform_bits ~n:8 in
+  let c = T.check space (T.Weight_ge 5) ~d:0 in
+  Alcotest.(check bool) "expansion at 0 is the set" true
+    (Float.abs (c.T.p_a -. c.T.p_expansion) < 1e-12);
+  Alcotest.(check bool) "bound at 0 is 1" true (Float.abs (c.T.bound -. 1.0) < 1e-12)
+
+let test_check_mc () =
+  let space = Lowerbound.Product.uniform_bits ~n:48 in
+  let c = T.check ~samples:20_000 ~seed:5 space (T.Weight_ge 30) ~d:12 in
+  Alcotest.(check bool) "mc check holds" true c.T.holds;
+  Alcotest.(check bool) "probabilities are probabilities" true
+    (c.T.p_a >= 0.0 && c.T.p_a <= 1.0 && c.T.p_expansion >= 0.0 && c.T.p_expansion <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "mem" `Quick test_mem;
+    Alcotest.test_case "expand" `Quick test_expand;
+    Alcotest.test_case "expansion semantics" `Quick test_expansion_semantics;
+    Alcotest.test_case "set distance" `Quick test_set_distance;
+    Alcotest.test_case "check exact holds" `Quick test_check_exact_holds;
+    Alcotest.test_case "check biased space" `Quick test_check_biased_space;
+    Alcotest.test_case "check values" `Quick test_check_values;
+    Alcotest.test_case "check mc" `Quick test_check_mc;
+  ]

@@ -1,0 +1,96 @@
+(* Theorem 5's constants. *)
+
+let test_alpha () =
+  let k = Lowerbound.Theory.derive ~c:(1.0 /. 6.0) in
+  Alcotest.(check bool) "alpha = c^2/9" true
+    (Float.abs (k.Lowerbound.Theory.alpha -. (1.0 /. 324.0)) < 1e-12)
+
+let test_derive_validation () =
+  let raised c = try ignore (Lowerbound.Theory.derive ~c); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "c = 0 rejected" true (raised 0.0);
+  Alcotest.(check bool) "c = 1 rejected" true (raised 1.0);
+  Alcotest.(check bool) "negative rejected" true (raised (-0.5))
+
+let test_inequality_3_holds_everywhere () =
+  (* The defining property of C: (3) holds for all n >= 1. *)
+  List.iter
+    (fun c ->
+      let k = Lowerbound.Theory.derive ~c in
+      for n = 1 to 2000 do
+        Alcotest.(check bool)
+          (Printf.sprintf "(3) at c=%.3f n=%d" c n)
+          true
+          (Lowerbound.Theory.exponent_inequality_holds k ~n)
+      done)
+    [ 1.0 /. 6.0; 1.0 /. 12.0; 0.3 ]
+
+let test_c_is_largest () =
+  (* C is tight: scaling it up by e^0.01 must violate (3) somewhere. *)
+  let k = Lowerbound.Theory.derive ~c:(1.0 /. 6.0) in
+  let bumped = { k with Lowerbound.Theory.log_c_const = k.Lowerbound.Theory.log_c_const +. 0.01 } in
+  let violated = ref false in
+  for n = 1 to 2000 do
+    if not (Lowerbound.Theory.exponent_inequality_holds bumped ~n) then violated := true
+  done;
+  Alcotest.(check bool) "larger C breaks (3)" true !violated
+
+let test_windows_grow_exponentially () =
+  let k = Lowerbound.Theory.derive ~c:(1.0 /. 6.0) in
+  let l1 = Lowerbound.Theory.log_windows k ~n:1000 in
+  let l2 = Lowerbound.Theory.log_windows k ~n:2000 in
+  Alcotest.(check bool) "log-linear growth" true
+    (Float.abs (l2 -. l1 -. (k.Lowerbound.Theory.alpha *. 1000.0)) < 1e-9);
+  Alcotest.(check bool) "eventually enormous" true
+    (Lowerbound.Theory.log_windows k ~n:100_000 > 100.0)
+
+let test_success_probability () =
+  let k = Lowerbound.Theory.derive ~c:(1.0 /. 6.0) in
+  List.iter
+    (fun n ->
+      let p = Lowerbound.Theory.success_probability_lower_bound k ~n in
+      Alcotest.(check bool)
+        (Printf.sprintf "success >= 1/2 at n=%d" n)
+        true (p >= 0.5 -. 1e-9);
+      Alcotest.(check bool) "at most 1" true (p <= 1.0))
+    [ 10; 100; 1000; 10000 ]
+
+let test_crossover () =
+  let k = Lowerbound.Theory.derive ~c:(1.0 /. 6.0) in
+  let x = Lowerbound.Theory.crossover_n k in
+  (* E(n) < 1 below the crossover, > 1 above. *)
+  let below = int_of_float (x *. 0.9) and above = int_of_float (x *. 1.1) in
+  Alcotest.(check bool) "below crossover E < 1" true
+    (Lowerbound.Theory.log_windows k ~n:below < 0.0);
+  Alcotest.(check bool) "above crossover E > 1" true
+    (Lowerbound.Theory.log_windows k ~n:above > 0.0)
+
+let test_windows_no_exception_at_extremes () =
+  let k = Lowerbound.Theory.derive ~c:(1.0 /. 6.0) in
+  (* exp overflow/underflow degrade gracefully to infinity/0. *)
+  Alcotest.(check bool) "huge n overflows to infinity" true
+    (Lowerbound.Theory.windows k ~n:10_000_000 = infinity);
+  Alcotest.(check bool) "tiny n underflows toward 0" true
+    (Lowerbound.Theory.windows k ~n:1 < 1.0)
+
+let test_smaller_c_weaker_bound () =
+  (* A weaker adversary (smaller c) yields a smaller exponent. *)
+  let strong = Lowerbound.Theory.derive ~c:(1.0 /. 6.0) in
+  let weak = Lowerbound.Theory.derive ~c:(1.0 /. 24.0) in
+  Alcotest.(check bool) "alpha ordering" true
+    (weak.Lowerbound.Theory.alpha < strong.Lowerbound.Theory.alpha);
+  Alcotest.(check bool) "window ordering at n=10^5" true
+    (Lowerbound.Theory.log_windows weak ~n:100_000
+    < Lowerbound.Theory.log_windows strong ~n:100_000)
+
+let suite =
+  [
+    Alcotest.test_case "alpha" `Quick test_alpha;
+    Alcotest.test_case "derive validation" `Quick test_derive_validation;
+    Alcotest.test_case "(3) holds everywhere" `Quick test_inequality_3_holds_everywhere;
+    Alcotest.test_case "C is largest" `Quick test_c_is_largest;
+    Alcotest.test_case "windows grow exponentially" `Quick test_windows_grow_exponentially;
+    Alcotest.test_case "success probability" `Quick test_success_probability;
+    Alcotest.test_case "crossover" `Quick test_crossover;
+    Alcotest.test_case "windows at extremes" `Quick test_windows_no_exception_at_extremes;
+    Alcotest.test_case "smaller c weaker bound" `Quick test_smaller_c_weaker_bound;
+  ]

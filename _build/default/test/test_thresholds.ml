@@ -1,0 +1,89 @@
+(* Theorem 4's threshold calculus. *)
+
+let ok = function Ok () -> true | Error _ -> false
+
+let test_default_satisfies_constraints () =
+  List.iter
+    (fun (n, t) ->
+      let th = Protocols.Thresholds.default ~n ~t in
+      Alcotest.(check bool)
+        (Printf.sprintf "valid for n=%d t=%d" n t)
+        true
+        (ok (Protocols.Thresholds.validate ~n ~t th)))
+    [ (7, 1); (13, 2); (19, 3); (100, 16); (1000, 166) ]
+
+let test_default_values () =
+  let th = Protocols.Thresholds.default ~n:13 ~t:2 in
+  Alcotest.(check int) "T1 = n - 2t" 9 th.Protocols.Thresholds.t1;
+  Alcotest.(check int) "T2 = T1" 9 th.Protocols.Thresholds.t2;
+  Alcotest.(check int) "T3 = n - 3t" 7 th.Protocols.Thresholds.t3
+
+let test_infeasible_raises () =
+  (* t >= n/6 has no valid thresholds. *)
+  List.iter
+    (fun (n, t) ->
+      let raised =
+        try
+          ignore (Protocols.Thresholds.default ~n ~t);
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) (Printf.sprintf "infeasible n=%d t=%d" n t) true raised)
+    [ (6, 1); (12, 2); (10, 2) ]
+
+let test_feasible_boundary () =
+  (* Feasible exactly when 6t < n. *)
+  Alcotest.(check bool) "n=7 t=1" true (Protocols.Thresholds.feasible ~n:7 ~t:1);
+  Alcotest.(check bool) "n=6 t=1" false (Protocols.Thresholds.feasible ~n:6 ~t:1);
+  Alcotest.(check bool) "n=13 t=2" true (Protocols.Thresholds.feasible ~n:13 ~t:2);
+  Alcotest.(check bool) "n=12 t=2" false (Protocols.Thresholds.feasible ~n:12 ~t:2)
+
+let test_max_fault_bound () =
+  Alcotest.(check int) "n=7" 1 (Protocols.Thresholds.max_fault_bound ~n:7);
+  Alcotest.(check int) "n=12" 1 (Protocols.Thresholds.max_fault_bound ~n:12);
+  Alcotest.(check int) "n=13" 2 (Protocols.Thresholds.max_fault_bound ~n:13);
+  Alcotest.(check int) "n=100" 16 (Protocols.Thresholds.max_fault_bound ~n:100);
+  (* The returned bound is always feasible, and t+1 never is. *)
+  List.iter
+    (fun n ->
+      let t = Protocols.Thresholds.max_fault_bound ~n in
+      if t > 0 then
+        Alcotest.(check bool) "max is feasible" true (Protocols.Thresholds.feasible ~n ~t);
+      Alcotest.(check bool) "max+1 is not" false
+        (Protocols.Thresholds.feasible ~n ~t:(t + 1)))
+    [ 7; 13; 25; 50; 101 ]
+
+let test_validate_each_constraint () =
+  let n = 13 and t = 2 in
+  let base = Protocols.Thresholds.default ~n ~t in
+  let check_error thresholds =
+    match Protocols.Thresholds.validate ~n ~t thresholds with
+    | Ok () -> Alcotest.fail "expected a constraint violation"
+    | Error _ -> ()
+  in
+  check_error { base with Protocols.Thresholds.t1 = n - (2 * t) + 1 } (* T1 too big *);
+  check_error { base with Protocols.Thresholds.t2 = base.Protocols.Thresholds.t1 + 1 };
+  check_error { base with Protocols.Thresholds.t3 = base.Protocols.Thresholds.t2 - t + 1 };
+  check_error { Protocols.Thresholds.t1 = 9; t2 = 8; t3 = 6 } (* 2*T3 = 12 < 13 = n *)
+
+let test_relaxed () =
+  let n = 25 and t = 2 in
+  let th = Protocols.Thresholds.relaxed ~n ~t in
+  Alcotest.(check bool) "valid" true (ok (Protocols.Thresholds.validate ~n ~t th));
+  Alcotest.(check int) "T2 = T3 + t" (th.Protocols.Thresholds.t3 + t)
+    th.Protocols.Thresholds.t2;
+  let default = Protocols.Thresholds.default ~n ~t in
+  Alcotest.(check bool) "relaxed T2 below default T2" true
+    (th.Protocols.Thresholds.t2 <= default.Protocols.Thresholds.t2)
+
+let suite =
+  [
+    Alcotest.test_case "default satisfies constraints" `Quick
+      test_default_satisfies_constraints;
+    Alcotest.test_case "default values" `Quick test_default_values;
+    Alcotest.test_case "infeasible raises" `Quick test_infeasible_raises;
+    Alcotest.test_case "feasible boundary" `Quick test_feasible_boundary;
+    Alcotest.test_case "max fault bound" `Quick test_max_fault_bound;
+    Alcotest.test_case "validate each constraint" `Quick test_validate_each_constraint;
+    Alcotest.test_case "relaxed" `Quick test_relaxed;
+  ]

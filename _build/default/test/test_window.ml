@@ -1,0 +1,107 @@
+(* Tests for acceptable windows (Definition 1). *)
+
+let test_uniform_fault_free () =
+  let w = Dsim.Window.uniform ~n:5 () in
+  Alcotest.(check bool) "fault free" true (Dsim.Window.is_fault_free w ~n:5);
+  Alcotest.(check (list int)) "full receive set" [ 0; 1; 2; 3; 4 ]
+    (Dsim.Window.receive_set w 0);
+  (match Dsim.Window.validate ~n:5 ~t:1 w with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m)
+
+let test_uniform_silenced () =
+  let w = Dsim.Window.uniform ~n:5 ~silenced:[ 2 ] () in
+  Alcotest.(check (list int)) "excludes silenced" [ 0; 1; 3; 4 ]
+    (Dsim.Window.receive_set w 3);
+  Alcotest.(check bool) "not fault free" false (Dsim.Window.is_fault_free w ~n:5)
+
+let test_validate_receive_too_small () =
+  let w = Dsim.Window.uniform ~n:6 ~silenced:[ 0; 1; 2 ] () in
+  (match Dsim.Window.validate ~n:6 ~t:2 w with
+  | Ok () -> Alcotest.fail "should reject |S_i| < n - t"
+  | Error _ -> ());
+  match Dsim.Window.validate ~n:6 ~t:3 w with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_validate_too_many_resets () =
+  let w = Dsim.Window.uniform ~n:6 ~resets:[ 0; 1; 2 ] () in
+  (match Dsim.Window.validate ~n:6 ~t:2 w with
+  | Ok () -> Alcotest.fail "should reject |R| > t"
+  | Error _ -> ());
+  match Dsim.Window.validate ~n:6 ~t:3 w with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_validate_out_of_range () =
+  let w = Dsim.Window.make ~receive_sets:(Array.make 4 [ 0; 1; 2; 9 ]) ~resets:[] in
+  (match Dsim.Window.validate ~n:4 ~t:1 w with
+  | Ok () -> Alcotest.fail "should reject pid out of range"
+  | Error _ -> ());
+  let w = Dsim.Window.make ~receive_sets:(Array.make 4 [ 0; 1; 2 ]) ~resets:[ -1 ] in
+  match Dsim.Window.validate ~n:4 ~t:1 w with
+  | Ok () -> Alcotest.fail "should reject negative reset pid"
+  | Error _ -> ()
+
+let test_validate_wrong_arity () =
+  let w = Dsim.Window.make ~receive_sets:(Array.make 3 [ 0; 1; 2 ]) ~resets:[] in
+  match Dsim.Window.validate ~n:4 ~t:1 w with
+  | Ok () -> Alcotest.fail "should reject wrong receive-set count"
+  | Error _ -> ()
+
+let test_normalization () =
+  let w = Dsim.Window.make ~receive_sets:[| [ 2; 0; 2; 1 ] |] ~resets:[ 0; 0 ] in
+  Alcotest.(check (list int)) "sorted dedup" [ 0; 1; 2 ] (Dsim.Window.receive_set w 0);
+  Alcotest.(check (list int)) "resets dedup" [ 0 ] w.Dsim.Window.resets
+
+let test_hybrid () =
+  let w =
+    Dsim.Window.hybrid ~n:6 ~j:3 ~s0:[ 0; 1; 2; 3 ] ~s1:[ 2; 3; 4; 5 ] ~r0:[ 0 ]
+      ~r1:[ 5 ]
+  in
+  Alcotest.(check (list int)) "low coords use s0" [ 0; 1; 2; 3 ]
+    (Dsim.Window.receive_set w 0);
+  Alcotest.(check (list int)) "high coords use s1" [ 2; 3; 4; 5 ]
+    (Dsim.Window.receive_set w 4);
+  Alcotest.(check (list int)) "mixed resets" [ 0; 5 ] w.Dsim.Window.resets
+
+let test_hybrid_endpoints () =
+  let s0 = [ 0; 1; 2 ] and s1 = [ 1; 2; 3 ] in
+  let w0 = Dsim.Window.hybrid ~n:4 ~j:0 ~s0 ~s1 ~r0:[ 0 ] ~r1:[ 3 ] in
+  Alcotest.(check (list int)) "j=0 all s1" s1 (Dsim.Window.receive_set w0 0);
+  Alcotest.(check (list int)) "j=0 resets from r1" [ 3 ] w0.Dsim.Window.resets;
+  let wn = Dsim.Window.hybrid ~n:4 ~j:4 ~s0 ~s1 ~r0:[ 0 ] ~r1:[ 3 ] in
+  Alcotest.(check (list int)) "j=n all s0" s0 (Dsim.Window.receive_set wn 3);
+  Alcotest.(check (list int)) "j=n resets from r0" [ 0 ] wn.Dsim.Window.resets
+
+let test_printers () =
+  let w = Dsim.Window.uniform ~n:3 ~silenced:[ 0 ] ~resets:[ 1 ] () in
+  Alcotest.(check bool) "window printer" true
+    (String.length (Format.asprintf "%a" Dsim.Window.pp w) > 0);
+  let pp_payload ppf s = Format.pp_print_string ppf s in
+  List.iter
+    (fun (step, expected) ->
+      Alcotest.(check string) "step printer" expected
+        (Format.asprintf "%a" (Dsim.Step.pp pp_payload) step))
+    [
+      (Dsim.Step.Send 2, "send(p2)");
+      (Dsim.Step.Deliver 5, "deliver(#5)");
+      (Dsim.Step.Drop 5, "drop(#5)");
+      (Dsim.Step.Reset 1, "reset(p1)");
+      (Dsim.Step.Crash 0, "crash(p0)");
+      (Dsim.Step.Corrupt (3, "evil"), "corrupt(#3, evil)");
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "printers" `Quick test_printers;
+    Alcotest.test_case "uniform fault free" `Quick test_uniform_fault_free;
+    Alcotest.test_case "uniform silenced" `Quick test_uniform_silenced;
+    Alcotest.test_case "validate small receive set" `Quick test_validate_receive_too_small;
+    Alcotest.test_case "validate too many resets" `Quick test_validate_too_many_resets;
+    Alcotest.test_case "validate out of range" `Quick test_validate_out_of_range;
+    Alcotest.test_case "validate wrong arity" `Quick test_validate_wrong_arity;
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "hybrid" `Quick test_hybrid;
+    Alcotest.test_case "hybrid endpoints" `Quick test_hybrid_endpoints;
+  ]
