@@ -1,0 +1,56 @@
+(* Determinism lint driver.
+
+     lint [--root DIR] [--dir lib --dir bin ...] [--format human|json]
+     lint --explain R3
+
+   Scans every .ml under the selected trees, reports rule violations
+   with file:line:col positions, and exits 1 when any are found (2 on
+   parse/read errors), so it can gate CI via `dune build @lint`. *)
+
+open Cmdliner
+
+let run root dirs format explain =
+  match explain with
+  | Some id -> (
+      match Lintkit.Rules.of_id id with
+      | Some rule ->
+          Format.printf "@[<v>%s — %s@,@,%s@]@."
+            (Lintkit.Rules.id rule)
+            (Lintkit.Rules.title rule)
+            (Lintkit.Rules.describe rule);
+          0
+      | None ->
+          Format.eprintf "unknown rule %S (expected R1..R5)@." id;
+          2)
+  | None ->
+      let dirs = if dirs = [] then Lintkit.Driver.default_dirs else dirs in
+      let report = Lintkit.Driver.scan ~dirs ~root () in
+      (match format with
+      | `Json -> Lintkit.Driver.render_json Format.std_formatter report
+      | `Human -> Lintkit.Driver.render_human Format.std_formatter report);
+      if report.Lintkit.Driver.errors <> [] then 2
+      else if report.Lintkit.Driver.diagnostics <> [] then 1
+      else 0
+
+let root =
+  Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR"
+         ~doc:"Repository root to scan (paths in the report are relative to it).")
+
+let dirs =
+  Arg.(value & opt_all string [] & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Subtree to scan (repeatable; defaults to lib bin bench examples).")
+
+let format =
+  Arg.(value
+       & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: human or json.")
+
+let explain =
+  Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"RULE"
+         ~doc:"Print the rationale for one rule (R1..R5) and exit.")
+
+let cmd =
+  let doc = "static determinism linter for the agreement reproduction" in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ root $ dirs $ format $ explain)
+
+let () = exit (Cmd.eval' cmd)

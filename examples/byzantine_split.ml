@@ -11,9 +11,12 @@
      dune exec examples/byzantine_split.exe
 *)
 
-let run_protocol name protocol ~n ~t ~corrupt ~flavour ~seed =
+let run_protocol ?(lint = true) name protocol ~n ~t ~corrupt ~flavour ~seed =
   let inputs = Array.init n (fun i -> i mod 2 = 0) in
-  let config = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+  let config =
+    Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed
+      ~record_events:lint ()
+  in
   let outcome =
     Dsim.Runner.run_steps config
       ~strategy:(Adversary.Byzantine.lockstep ~corrupt ~flavour ())
@@ -26,7 +29,17 @@ let run_protocol name protocol ~n ~t ~corrupt ~flavour ~seed =
     | Adversary.Byzantine.Flip -> "flip"
     | Adversary.Byzantine.Equivocate -> "equivocate"
     | Adversary.Byzantine.Silent -> "silent")
-    Dsim.Runner.pp_outcome outcome Agreement.Correctness.pp verdict
+    Dsim.Runner.pp_outcome outcome Agreement.Correctness.pp verdict;
+  if lint then
+    (* Corruption rewrites payloads in flight, never endpoints or causal
+       depths, so even these traces must audit clean.  Deciders heard a
+       full n - t quorum of distinct senders. *)
+    match Lintkit.Trace_lint.audit ~decision_quorum:(n - t) config with
+    | [] -> Format.printf "  trace lint: clean@."
+    | violations ->
+        List.iter
+          (fun v -> Format.printf "  trace lint: %a@." Lintkit.Trace_lint.pp_violation v)
+          violations
 
 let () =
   let n = 7 in

@@ -13,44 +13,56 @@
      dune exec examples/flp_determinism.exe
 *)
 
-let run ~name ~coin ~seeds ~max_windows =
+let run ?(lint = true) ~name ~coin ~seeds ~max_windows () =
   let n = 13 and t = 2 in
   (* 1-inputs at the low ids: the layout under which the freeze is
      exact (the tally counts the first T1 senders in id order). *)
   let inputs = Array.init n (fun i -> i < 7) in
   let decided = ref 0 and windows = ref Stats.Summary.empty in
-  let conflicts = ref 0 in
+  let conflicts = ref 0 and lint_failures = ref 0 in
   List.iter
     (fun seed ->
       let config =
         Dsim.Engine.init
           ~protocol:(Protocols.Lewko_variant.protocol ?coin ())
-          ~n ~fault_bound:t ~inputs ~seed ()
+          ~n ~fault_bound:t ~inputs ~seed ~record_events:lint ()
       in
       let outcome =
         Dsim.Runner.run_windows config
           ~strategy:(Adversary.Split_brain.windowed ())
           ~max_windows ~stop:`First_decision
       in
+      if lint then
+        lint_failures :=
+          !lint_failures
+          + List.length
+              (Lintkit.Trace_lint.audit ~decision_quorum:(n - (2 * t)) config);
       if outcome.Dsim.Runner.conflict then incr conflicts;
       if outcome.Dsim.Runner.decided <> [] then begin
         incr decided;
         windows := Stats.Summary.add_int !windows outcome.Dsim.Runner.windows
       end)
     seeds;
-  Format.printf "  %-22s decided %d/%d runs%s%s@." name !decided (List.length seeds)
+  Format.printf "  %-22s decided %d/%d runs%s%s%s@." name !decided (List.length seeds)
     (if !decided > 0 then
        Printf.sprintf " (mean %.0f windows)" (Stats.Summary.mean !windows)
      else " — stuck at the window budget every time")
     (if !conflicts > 0 then "  [CONFLICT!]" else "")
+    (if not lint then ""
+     else if !lint_failures = 0 then "  [trace lint: clean]"
+     else Printf.sprintf "  [trace lint: %d violations]" !lint_failures)
 
 let () =
   let seeds = List.init 10 (fun i -> i + 1) in
   Format.printf
     "Variant algorithm, n = 13, t = 2, inputs 1111111000000,@.split-brain adversary, budget 20000 windows per run:@.@.";
-  run ~name:"fair coin (Theorem 4)" ~coin:None ~seeds ~max_windows:20_000;
-  run ~name:"coin pinned to 0" ~coin:(Some (fun _ -> false)) ~seeds ~max_windows:20_000;
-  run ~name:"coin pinned to 1" ~coin:(Some (fun _ -> true)) ~seeds ~max_windows:20_000;
+  run ~name:"fair coin (Theorem 4)" ~coin:None ~seeds ~max_windows:20_000 ();
+  (* The full-budget frozen runs would record ~7M events each; lint the
+     freeze on a short-budget run below instead. *)
+  run ~lint:false ~name:"coin pinned to 0" ~coin:(Some (fun _ -> false)) ~seeds ~max_windows:20_000 ();
+  run ~name:"coin pinned to 1" ~coin:(Some (fun _ -> true)) ~seeds ~max_windows:20_000 ();
+  run ~name:"pinned 0, 2k (audited)" ~coin:(Some (fun _ -> false)) ~seeds:[ 1 ]
+    ~max_windows:2_000 ();
   Format.printf
     "@.With the pinned coin the adversary freezes a 7-ones/6-zeros split:@.\
      the 1-holders keep re-adopting 1 deterministically (they see exactly@.\

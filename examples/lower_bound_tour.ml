@@ -82,16 +82,25 @@ let () =
      union-free level k, then play the canonical window minimizing the
      estimated chance of entering Z^{k-1}_0 ∪ Z^{k-1}_1. *)
   let n = 7 and t = 1 in
-  let survived coin_runs strategy =
+  let lint_failures = ref 0 in
+  let survived ?(lint = true) coin_runs strategy =
     let total = ref 0 in
     List.iter
       (fun seed ->
         let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
-        let config = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+        let config =
+          Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed
+            ~record_events:lint ()
+        in
         let outcome =
           Dsim.Runner.run_windows config ~strategy:(strategy seed) ~max_windows:2_000
             ~stop:`First_decision
         in
+        if lint then
+          lint_failures :=
+            !lint_failures
+            + List.length
+                (Lintkit.Trace_lint.audit ~decision_quorum:(n - (2 * t)) config);
         total := !total + outcome.Dsim.Runner.windows)
       coin_runs;
     float_of_int !total /. float_of_int (List.length coin_runs)
@@ -105,6 +114,9 @@ let () =
   Format.printf "    proof adversary  : %.1f   (Z^k-probing, k_max = 1)@."
     (survived seeds (fun seed ->
          Lowerbound.Proof_adversary.windowed ~k_max:1 ~samples:4 ~seed ()));
+  Format.printf "  trace lint over all runs above: %s@."
+    (if !lint_failures = 0 then "clean"
+     else Printf.sprintf "%d violations" !lint_failures);
 
   section "5. Theorem 5 constants";
   List.iter

@@ -6,26 +6,38 @@
      dune exec examples/quickstart.exe
 *)
 
-let run ~name ~strategy =
+let run ?(lint = true) ~name ~strategy () =
   let n = 13 and t = 2 in
   let inputs = Array.init n (fun i -> i mod 2 = 0) in
   let config =
     Dsim.Engine.init
       ~protocol:(Protocols.Lewko_variant.protocol ())
-      ~n ~fault_bound:t ~inputs ~seed:42 ()
+      ~n ~fault_bound:t ~inputs ~seed:42 ~record_events:lint ()
   in
   let outcome =
     Dsim.Runner.run_windows config ~strategy ~max_windows:100_000 ~stop:`All_decided
   in
   let verdict = Agreement.Correctness.of_outcome ~inputs outcome in
   Format.printf "@[<v>%s:@,  %a@,  %a@,@]" name Dsim.Runner.pp_outcome outcome
-    Agreement.Correctness.pp verdict
+    Agreement.Correctness.pp verdict;
+  if lint then
+    (* Audit the recorded trace: FIFO channels, causal depths, message
+       provenance, window discipline, and the T1 = n - 2t decision
+       quorum must all hold. *)
+    match Lintkit.Trace_lint.audit ~decision_quorum:(n - (2 * t)) config with
+    | [] -> Format.printf "  trace lint: clean@."
+    | violations ->
+        List.iter
+          (fun v -> Format.printf "  trace lint: %a@." Lintkit.Trace_lint.pp_violation v)
+          violations
 
 let () =
   Format.printf "Variant algorithm, n = 13, t = 2, split inputs.@.@.";
-  run ~name:"benign scheduler" ~strategy:(Adversary.Benign.windowed ());
-  run ~name:"balancing adversary" ~strategy:(Adversary.Split_vote.windowed ());
-  run ~name:"balancing + resets" ~strategy:(Adversary.Split_vote.windowed_with_resets ());
+  run ~name:"benign scheduler" ~strategy:(Adversary.Benign.windowed ()) ();
+  run ~name:"balancing adversary" ~strategy:(Adversary.Split_vote.windowed ()) ();
+  run ~name:"balancing + resets"
+    ~strategy:(Adversary.Split_vote.windowed_with_resets ())
+    ();
   Format.printf
     "Note how the adversary multiplies the number of acceptable windows@,\
      needed before anyone decides — Section 3's exponential-time effect@,\

@@ -42,17 +42,32 @@ let () =
       | Dsim.Trace.Decided _ -> Format.printf "  %a@." Dsim.Trace.pp_event event
       | _ -> ())
     events;
+  (* Audit the full trace: even under the storm, FIFO channels, causal
+     depths, provenance, the t-resets-per-window cap and the T1 decision
+     quorum must hold. *)
+  (match Lintkit.Trace_lint.audit ~decision_quorum:(n - (2 * t)) config with
+  | [] -> Format.printf "Trace lint: clean.@."
+  | violations ->
+      List.iter
+        (fun v -> Format.printf "Trace lint: %a@." Lintkit.Trace_lint.pp_violation v)
+        violations);
   (* The contrast: Ben-Or has no re-join procedure (a reset processor
      just restarts from its input), and the same storm livelocks it. *)
   let contrast =
     Dsim.Engine.init ~protocol:(Protocols.Ben_or.protocol ()) ~n ~fault_bound:t
-      ~inputs ~seed:7 ()
+      ~inputs ~seed:7 ~record_events:true ()
   in
   let outcome =
     Dsim.Runner.run_windows contrast
       ~strategy:(Adversary.Reset_storm.random ~seed:99 ())
       ~max_windows:2_000 ~stop:`All_decided
   in
+  (match Lintkit.Trace_lint.audit ~decision_quorum:(n - t) contrast with
+  | [] -> ()
+  | violations ->
+      List.iter
+        (fun v -> Format.printf "Trace lint (ben-or): %a@." Lintkit.Trace_lint.pp_violation v)
+        violations);
   Format.printf
     "@.Contrast — Ben-Or (restart-on-reset, no re-join) under the same storm:@.  %a@.\
      The baselines livelock under reset storms; the variant's recovery@.\

@@ -59,7 +59,7 @@ let before_decision () =
           |> List.filter (fun o ->
                  o.Dsim.Obs.output = None
                  && not (Dsim.Engine.crashed config o.Dsim.Obs.id))
-          |> List.sort (fun a b -> compare b.Dsim.Obs.round a.Dsim.Obs.round)
+          |> List.sort (fun a b -> Int.compare b.Dsim.Obs.round a.Dsim.Obs.round)
           |> (function [] -> [] | best :: _ -> [ Dsim.Step.Crash best.Dsim.Obs.id ])
       in
       victims @ fair_cycle config)

@@ -37,7 +37,9 @@ let stepwise ?(patience = 8) () =
       | None -> `All
       | Some b ->
           let holders value =
-            List.filter (fun p -> estimate_of p = Some value) (List.init n (fun i -> i))
+            List.filter
+              (fun p -> Dsim.Obs.estimate_is observations.(p) value)
+              (List.init n (fun i -> i))
           in
           let own = List.length (holders b) in
           let allow = max 0 (n - t - own) in

@@ -19,7 +19,7 @@ let target_undecided () =
       Array.to_list (Dsim.Engine.observations config)
       |> List.filter (fun o -> o.Dsim.Obs.output = None)
       (* Highest round first: erase the most progress. *)
-      |> List.sort (fun a b -> compare b.Dsim.Obs.round a.Dsim.Obs.round)
+      |> List.sort (fun a b -> Int.compare b.Dsim.Obs.round a.Dsim.Obs.round)
     in
     let resets =
       List.filteri (fun i _ -> i < t) candidates |> List.map (fun o -> o.Dsim.Obs.id)

@@ -11,7 +11,7 @@ let windowed () =
     let holders value =
       Array.to_list observations
       |> List.filter_map (fun o ->
-             if o.Dsim.Obs.estimate = Some value then Some o.Dsim.Obs.id else None)
+             if Dsim.Obs.estimate_is o value then Some o.Dsim.Obs.id else None)
     in
     let ones = holders true and zeros = holders false in
     let all = List.init n (fun i -> i) in

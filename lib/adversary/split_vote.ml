@@ -46,8 +46,11 @@ let stepwise () =
     let deliveries_for dst =
       let pending = Dsim.Mailbox.pending_for mailbox ~dst in
       let bit_of e = protocol.Dsim.Protocol.message_bit e.Dsim.Envelope.payload in
-      let ones = List.length (List.filter (fun e -> bit_of e = Some true) pending) in
-      let zeros = List.length (List.filter (fun e -> bit_of e = Some false) pending) in
+      let bit_is e v =
+        match bit_of e with Some b -> Bool.equal b v | None -> false
+      in
+      let ones = List.length (List.filter (fun e -> bit_is e true) pending) in
+      let zeros = List.length (List.filter (fun e -> bit_is e false) pending) in
       let majority_bit = if ones >= zeros then true else false in
       let excess = abs (ones - zeros) in
       let budget = min t excess in
@@ -55,7 +58,7 @@ let stepwise () =
       let skipped = ref 0 in
       List.filter_map
         (fun e ->
-          if bit_of e = Some majority_bit && !skipped < budget then begin
+          if bit_is e majority_bit && !skipped < budget then begin
             incr skipped;
             Some (Dsim.Step.Drop e.Dsim.Envelope.id)
           end

@@ -38,7 +38,7 @@ let majority_holders config ~limit =
   let obs = Dsim.Engine.observations config in
   Array.iter
     (fun o ->
-      if !count < limit && o.Dsim.Obs.estimate = Some majority then begin
+      if !count < limit && Dsim.Obs.estimate_is o majority then begin
         holders := o.Dsim.Obs.id :: !holders;
         incr count
       end)

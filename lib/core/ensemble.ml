@@ -22,6 +22,7 @@ type result = {
   decisions_zero : int;
   decisions_one : int;
   window_histogram : Stats.Histogram.t;
+  lint_violations : int;
 }
 
 (* A function, not a constant: the histogram is mutable and must be
@@ -39,6 +40,7 @@ let empty_result () =
     decisions_zero = 0;
     decisions_one = 0;
     window_histogram = Stats.Histogram.create ();
+    lint_violations = 0;
   }
 
 let fold_outcome acc ~inputs (outcome : Dsim.Runner.outcome) =
@@ -72,32 +74,52 @@ let fold_outcome acc ~inputs (outcome : Dsim.Runner.outcome) =
       + if terminated && verdict.Correctness.value = Some true then 1 else 0);
   }
 
-let run_windowed ~protocol ~strategy ~spec ~seeds =
+(* With [lint] the engine records its full event trace and the runtime
+   trace linter audits every run; violations are counted per run, not
+   per event. *)
+let audit ~lint ~lint_fifo ~lint_quorum config =
+  if not lint then 0
+  else
+    List.length
+      (Lintkit.Trace_lint.audit ?decision_quorum:lint_quorum ~fifo:lint_fifo
+         config)
+
+let run_windowed ?(lint = false) ?(lint_fifo = true) ?lint_quorum ~protocol
+    ~strategy ~spec ~seeds () =
   List.fold_left
     (fun acc seed ->
       let inputs = spec.inputs seed in
       let config =
-        Dsim.Engine.init ~protocol ~n:spec.n ~fault_bound:spec.t ~inputs ~seed ()
+        Dsim.Engine.init ~protocol ~n:spec.n ~fault_bound:spec.t ~inputs ~seed
+          ~record_events:lint ()
       in
       let outcome =
         Dsim.Runner.run_windows config ~strategy:(strategy seed)
           ~max_windows:spec.max_windows ~stop:spec.stop
       in
-      fold_outcome acc ~inputs outcome)
+      let acc = fold_outcome acc ~inputs outcome in
+      { acc with
+        lint_violations =
+          acc.lint_violations + audit ~lint ~lint_fifo ~lint_quorum config })
     (empty_result ()) seeds
 
-let run_stepwise ~protocol ~strategy ~spec ~seeds =
+let run_stepwise ?(lint = false) ?(lint_fifo = true) ?lint_quorum ~protocol
+    ~strategy ~spec ~seeds () =
   List.fold_left
     (fun acc seed ->
       let inputs = spec.inputs seed in
       let config =
-        Dsim.Engine.init ~protocol ~n:spec.n ~fault_bound:spec.t ~inputs ~seed ()
+        Dsim.Engine.init ~protocol ~n:spec.n ~fault_bound:spec.t ~inputs ~seed
+          ~record_events:lint ()
       in
       let outcome =
         Dsim.Runner.run_steps config ~strategy:(strategy seed) ~max_steps:spec.max_steps
           ~stop:spec.stop
       in
-      fold_outcome acc ~inputs outcome)
+      let acc = fold_outcome acc ~inputs outcome in
+      { acc with
+        lint_violations =
+          acc.lint_violations + audit ~lint ~lint_fifo ~lint_quorum config })
     (empty_result ()) seeds
 
 let rate part total = if total = 0 then nan else float_of_int part /. float_of_int total

@@ -32,22 +32,41 @@ type result = {
   decisions_zero : int;  (** Terminated runs deciding 0. *)
   decisions_one : int;
   window_histogram : Stats.Histogram.t;  (** Windows-to-stop distribution. *)
+  lint_violations : int;
+      (** Trace-invariant violations across all audited runs; always 0
+          unless the sweep ran with [~lint:true]. *)
 }
 
 val run_windowed :
+  ?lint:bool ->
+  ?lint_fifo:bool ->
+  ?lint_quorum:int ->
   protocol:('s, 'm) Dsim.Protocol.t ->
   strategy:(int -> ('s, 'm) Adversary.Strategy.windowed) ->
   spec:spec ->
   seeds:int list ->
+  unit ->
   result
 (** One windowed run per seed; the strategy factory receives the seed
-    so stateful strategies are fresh per run. *)
+    so stateful strategies are fresh per run.
+
+    With [~lint:true] (default false) every engine records its full
+    event trace and {!Lintkit.Trace_lint.audit} checks it after the
+    run; the violation count lands in [lint_violations].  [lint_fifo]
+    (default true) controls the per-channel FIFO invariant — disable it
+    for deferral adversaries that legitimately reorder channels.
+    [lint_quorum] is the minimum number of distinct senders a
+    processor must have heard from before deciding. *)
 
 val run_stepwise :
+  ?lint:bool ->
+  ?lint_fifo:bool ->
+  ?lint_quorum:int ->
   protocol:('s, 'm) Dsim.Protocol.t ->
   strategy:(int -> ('s, 'm) Adversary.Strategy.stepwise) ->
   spec:spec ->
   seeds:int list ->
+  unit ->
   result
 
 val termination_rate : result -> float

@@ -5,6 +5,96 @@ let seeds_list count = List.init count (fun i -> i + 1)
 let fault_bound_for n = max 1 (Protocols.Thresholds.max_fault_bound ~n)
 
 (* ------------------------------------------------------------------ *)
+(* E0: runtime trace lint — every audited execution must satisfy the   *)
+(* engine's structural invariants (FIFO channels, causal depths,       *)
+(* provenance, window discipline, decision quorums).                   *)
+
+let e0_trace_lint ~scale =
+  let seed_count, max_windows, max_steps =
+    match scale with
+    | `Full -> (20, 2_000, 400_000)
+    | `Quick -> (5, 500, 120_000)
+  in
+  let table =
+    Stats.Table.create
+      ~title:"E0: runtime trace lint — invariant violations across audited executions"
+      ~columns:
+        [ "protocol"; "discipline"; "adversary"; "n"; "t"; "quorum"; "fifo";
+          "runs"; "violations"; "clean" ]
+  in
+  let row ~protocol_name ~discipline ~adversary ~n ~t ~quorum ~fifo result =
+    Stats.Table.add_row table
+      [
+        S protocol_name; S discipline; S adversary; I n; I t; I quorum; B fifo;
+        I result.Ensemble.runs; I result.Ensemble.lint_violations;
+        B (result.Ensemble.lint_violations = 0);
+      ]
+  in
+  (* Windowed variant runs: FIFO holds (windows deliver ascending ids);
+     a deciding processor has census >= T1 = n - 2t distinct senders. *)
+  let n = 13 in
+  let t = fault_bound_for n in
+  let quorum = n - (2 * t) in
+  let spec =
+    {
+      Ensemble.n;
+      t;
+      inputs = Ensemble.split_inputs ~n;
+      max_windows;
+      max_steps = 0;
+      stop = `All_decided;
+    }
+  in
+  List.iter
+    (fun (name, strategy) ->
+      let result =
+        Ensemble.run_windowed ~lint:true ~lint_quorum:quorum
+          ~protocol:(Protocols.Lewko_variant.protocol ())
+          ~strategy ~spec ~seeds:(seeds_list seed_count) ()
+      in
+      row ~protocol_name:"lewko-variant" ~discipline:"windowed" ~adversary:name
+        ~n ~t ~quorum ~fifo:true result)
+    [
+      ("benign", fun _seed -> Adversary.Benign.windowed ());
+      ("balancing", fun _seed -> Adversary.Split_vote.windowed ());
+      ("reset-targeted", fun _seed -> Adversary.Reset_storm.target_undecided ());
+    ];
+  (* Stepwise baselines: Ben-Or needs n - t reports per round, Bracha
+     decides at 2t + 1 readies.  The echo chamber defers messages, so
+     its channels legitimately reorder: FIFO is waived for that row. *)
+  let stepwise protocol_name protocol ~n ~t ~quorum ~fifo (name, strategy) =
+    let spec =
+      {
+        Ensemble.n;
+        t;
+        inputs = Ensemble.split_inputs ~n;
+        max_windows = 0;
+        max_steps;
+        stop = `First_decision;
+      }
+    in
+    let result =
+      Ensemble.run_stepwise ~lint:true ~lint_fifo:fifo ~lint_quorum:quorum
+        ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) ()
+    in
+    row ~protocol_name ~discipline:"stepwise" ~adversary:name ~n ~t ~quorum
+      ~fifo result
+  in
+  stepwise "ben-or" (Protocols.Ben_or.protocol ()) ~n:7 ~t:3 ~quorum:4
+    ~fifo:true
+    ("balancing", fun _seed -> Adversary.Split_vote.stepwise ());
+  stepwise "ben-or" (Protocols.Ben_or.protocol ()) ~n:7 ~t:3 ~quorum:4
+    ~fifo:true
+    ("crash-late", fun _seed -> Adversary.Crash.before_decision ());
+  stepwise "bracha" (Protocols.Bracha.protocol ()) ~n:7 ~t:2 ~quorum:5
+    ~fifo:true
+    ("balancing", fun _seed -> Adversary.Split_vote.stepwise ());
+  stepwise "bracha" (Protocols.Bracha.protocol ()) ~n:7 ~t:2 ~quorum:5
+    ~fifo:false
+    ("echo-chamber", fun _seed -> Adversary.Echo_chamber.stepwise ());
+  table
+
+(* ------------------------------------------------------------------ *)
 (* E1: Theorem 4 correctness/termination matrix.                       *)
 
 let e1_adversaries :
@@ -56,7 +146,7 @@ let e1_theorem4_matrix ~scale =
         (fun (name, strategy) ->
           let result =
             Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
-              ~strategy ~spec ~seeds:(seeds_list seed_count)
+              ~strategy ~spec ~seeds:(seeds_list seed_count) ()
           in
           Stats.Table.add_row table
             [
@@ -109,7 +199,7 @@ let e2_exponential_variant ~scale =
       let result =
         Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
           ~strategy:(fun _ -> Adversary.Split_vote.windowed ())
-          ~spec ~seeds:(seeds_list seed_count)
+          ~spec ~seeds:(seeds_list seed_count) ()
       in
       let mean = Stats.Summary.mean result.Ensemble.windows in
       points := (float_of_int n, mean) :: !points;
@@ -135,7 +225,7 @@ let e2_survival ~scale =
   let result =
     Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
       ~strategy:(fun _ -> Adversary.Split_vote.windowed ())
-      ~spec ~seeds:(seeds_list seed_count)
+      ~spec ~seeds:(seeds_list seed_count) ()
   in
   let table =
     Stats.Table.create
@@ -178,7 +268,7 @@ let e3_baselines ~scale =
         stop = `First_decision;
       }
     in
-    let result = Ensemble.run_stepwise ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) in
+    let result = Ensemble.run_stepwise ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
     Stats.Table.add_row table
       [
         S protocol.Dsim.Protocol.name; S model; S strategy_name; I n; I t;
@@ -441,7 +531,7 @@ let e7_reset_resilience ~scale =
         (fun (name, strategy) ->
           let result =
             Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
-              ~strategy ~spec ~seeds:(seeds_list seed_count)
+              ~strategy ~spec ~seeds:(seeds_list seed_count) ()
           in
           let mean_resets = Stats.Summary.mean result.Ensemble.total_resets in
           Stats.Table.add_row table
@@ -511,7 +601,7 @@ let e8_forgetful_class ~scale =
       let result =
         Ensemble.run_stepwise ~protocol:(Protocols.Ben_or.protocol ())
           ~strategy:(fun _ -> Adversary.Split_vote.stepwise ())
-          ~spec ~seeds:(seeds_list chain_seeds)
+          ~spec ~seeds:(seeds_list chain_seeds) ()
       in
       Stats.Table.add_row table
         [
@@ -611,7 +701,7 @@ let e10_ablations ~scale =
         stop = `All_decided;
       }
     in
-    let result = Ensemble.run_windowed ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) in
+    let result = Ensemble.run_windowed ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
     Stats.Table.add_row table
       [
         S ablation; I n; I t; S setting; I result.Ensemble.runs;
@@ -901,7 +991,7 @@ let e14_reset_fragility ~scale =
         stop = `All_decided;
       }
     in
-    let result = Ensemble.run_windowed ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) in
+    let result = Ensemble.run_windowed ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
     Stats.Table.add_row table
       [
         S name; S strategy_name; I n; I t; I result.Ensemble.runs;
@@ -949,6 +1039,7 @@ let e2_with_fit ~scale =
 
 let generators : (string * (scale:scale -> Stats.Table.t)) list =
   [
+    ("E0-lint", e0_trace_lint);
     ("E1", e1_theorem4_matrix);
     ("E2", fun ~scale -> fst (e2_with_fit ~scale));
     ("E2-fit", fun ~scale -> snd (e2_with_fit ~scale));

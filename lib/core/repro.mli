@@ -8,6 +8,12 @@
 
 type scale = [ `Quick | `Full ]
 
+val e0_trace_lint : scale:scale -> Stats.Table.t
+(** Runtime trace lint: run the protocol/adversary portfolio with full
+    event recording and audit every execution against the engine's
+    structural invariants (FIFO channels, causal depths, provenance,
+    window discipline, decision quorums).  Every row must be clean. *)
+
 val e1_theorem4_matrix : scale:scale -> Stats.Table.t
 (** Theorem 4: correctness / termination of the variant algorithm
     against the strongly adaptive adversary portfolio. *)

@@ -12,6 +12,8 @@ let make ~id ~round ~estimate ~output ~input ~resets ~phase =
   { id; round; estimate; output; input; resets; phase }
 
 let decided t = Option.is_some t.output
+let estimate_is t value =
+  match t.estimate with Some b -> Bool.equal b value | None -> false
 
 let pp_bit ppf = function
   | None -> Format.pp_print_string ppf "_"

@@ -28,4 +28,10 @@ val make :
   t
 
 val decided : t -> bool
+
+val estimate_is : t -> bool -> bool
+(** [estimate_is o v] is true when the estimate is defined and equals
+    [v].  Named comparator so adversary code avoids polymorphic
+    equality on observation data (lint rule R3). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+type report = {
+  diagnostics : Static_lint.diagnostic list;
+  errors : string list;
+  files_scanned : int;
+}
+
+let default_dirs = [ "lib"; "bin"; "bench"; "examples" ]
+let default_hash_allowlist = [ "lib/lint/" ]
+
+let is_ml_file name =
+  String.length name > 3 && String.sub name (String.length name - 3) 3 = ".ml"
+
+let skip_dir name =
+  name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+(* Collect relative paths of .ml files under [rel] (depth-first, sorted
+   so the scan order is stable across filesystems). *)
+let rec walk root rel acc =
+  let abs = Filename.concat root rel in
+  if not (Sys.file_exists abs) then acc
+  else if Sys.is_directory abs then
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if skip_dir entry then acc else walk root (Filename.concat rel entry) acc)
+      acc entries
+  else if is_ml_file rel then rel :: acc
+  else acc
+
+let scan ?(hash_allowlist = default_hash_allowlist) ?(dirs = default_dirs) ~root ()
+    =
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    (* A typo'd root must not read as a clean scan. *)
+    {
+      diagnostics = [];
+      errors = [ Printf.sprintf "root %S is not a directory" root ];
+      files_scanned = 0;
+    }
+  else
+  let files =
+    List.fold_left (fun acc dir -> walk root dir acc) [] dirs |> List.rev
+  in
+  let diagnostics, errors =
+    List.fold_left
+      (fun (diags, errs) rel ->
+        match
+          Static_lint.lint_file ~hash_allowlist (Filename.concat root rel)
+        with
+        | Ok ds ->
+            (* Report root-relative paths regardless of where we ran. *)
+            let ds = List.map (fun d -> { d with Static_lint.path = rel }) ds in
+            (List.rev_append ds diags, errs)
+        | Error message -> (diags, message :: errs))
+      ([], []) files
+  in
+  {
+    diagnostics = List.sort Static_lint.compare_diagnostic diagnostics;
+    errors = List.rev errors;
+    files_scanned = List.length files;
+  }
+
+let ok report = report.diagnostics = [] && report.errors = []
+
+let render_human ppf report =
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "%s:%d:%d: [%s] %s@."
+        d.Static_lint.path d.Static_lint.line d.Static_lint.col
+        (Rules.id d.Static_lint.rule) d.Static_lint.message)
+    report.diagnostics;
+  List.iter (fun e -> Format.fprintf ppf "error: %s@." e) report.errors;
+  Format.fprintf ppf "%d file%s scanned, %d violation%s, %d error%s@."
+    report.files_scanned
+    (if report.files_scanned = 1 then "" else "s")
+    (List.length report.diagnostics)
+    (if List.length report.diagnostics = 1 then "" else "s")
+    (List.length report.errors)
+    (if List.length report.errors = 1 then "" else "s")
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json ppf report =
+  let violation d =
+    Printf.sprintf
+      {|{"path":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+      (json_escape d.Static_lint.path)
+      d.Static_lint.line d.Static_lint.col
+      (Rules.id d.Static_lint.rule)
+      (json_escape d.Static_lint.message)
+  in
+  Format.fprintf ppf
+    {|{"files_scanned":%d,"violations":[%s],"errors":[%s]}|}
+    report.files_scanned
+    (String.concat "," (List.map violation report.diagnostics))
+    (String.concat ","
+       (List.map (fun e -> "\"" ^ json_escape e ^ "\"") report.errors));
+  Format.pp_print_newline ppf ()

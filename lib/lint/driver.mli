@@ -1,0 +1,32 @@
+(** Filesystem walker and report rendering for the static linter. *)
+
+type report = {
+  diagnostics : Static_lint.diagnostic list;  (** sorted by (path, line, col) *)
+  errors : string list;  (** unparsable / unreadable files *)
+  files_scanned : int;
+}
+
+val default_dirs : string list
+(** ["lib"; "bin"; "bench"; "examples"] — the trees the issue puts in
+    scope. *)
+
+val default_hash_allowlist : string list
+(** Path fragments for which R2 is waived (the linter's own rule tables
+    and this module's test fixtures name [Hashtbl.hash] on purpose). *)
+
+val scan :
+  ?hash_allowlist:string list -> ?dirs:string list -> root:string -> unit -> report
+(** Walk [dirs] under [root] (skipping [_build] and dot-directories),
+    lint every [.ml] file, and merge the results.  Paths in the report
+    are relative to [root]. *)
+
+val render_human : Format.formatter -> report -> unit
+(** "path:line:col: [Rn] message" lines plus a summary line. *)
+
+val render_json : Format.formatter -> report -> unit
+(** Machine-readable report:
+    [{"files_scanned":N,"violations":[{"path":..,"line":..,"col":..,
+    "rule":..,"message":..}],"errors":[..]}]. *)
+
+val ok : report -> bool
+(** True when there are neither diagnostics nor errors. *)

@@ -1,0 +1,95 @@
+type t = R1 | R2 | R3 | R4 | R5
+
+let all = [ R1; R2; R3; R4; R5 ]
+
+let id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let of_id s =
+  match String.uppercase_ascii (String.trim s) with
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+let title = function
+  | R1 -> "ambient nondeterminism source"
+  | R2 -> "version-dependent Hashtbl.hash"
+  | R3 -> "polymorphic compare on protocol data"
+  | R4 -> "exact float-literal equality"
+  | R5 -> "printing from library code"
+
+let describe = function
+  | R1 ->
+      "Random.*, Sys.time and Unix.gettimeofday draw on ambient state, so any \
+       library code touching them stops being a pure function of the \
+       experiment seed.  All randomness must come from Prng.Stream, all \
+       timing from the caller."
+  | R2 ->
+      "Hashtbl.hash is explicitly unspecified across OCaml versions and \
+       word sizes; feeding it into PRNG stream derivation (or anything \
+       seed-adjacent) makes runs irreproducible across toolchains.  Use a \
+       self-contained stable hash (e.g. FNV-1a) instead."
+  | R3 ->
+      "Bare polymorphic compare/(=) on records or constructor applications \
+       compares whatever the in-memory representation happens to be \
+       (including mutable internals and floats inside), and breaks silently \
+       when a field is added.  Protocol, observation and adversary data \
+       must use named, field-explicit comparators (Int.compare, \
+       Bool.equal, Obs.estimate_is, ...)."
+  | R4 ->
+      "Exact (=) against a float literal is almost never the intended \
+       predicate in the statistics and lower-bound numerics: it is \
+       representation-sensitive and NaN-hostile.  Use Float.equal for \
+       genuine bit-equality on sentinels, or an explicit tolerance."
+  | R5 ->
+      "Library code must not print: all observable output goes through \
+       Dsim.Obs / Dsim.Trace_export so executions stay silent, replayable \
+       and comparable.  Printing belongs to bin/, bench/ and examples/."
+
+type scope = {
+  top : [ `Lib | `Bin | `Bench | `Examples | `Other ];
+  sub : string option;
+}
+
+let scope_of_path path =
+  let parts =
+    String.split_on_char '/' path
+    |> List.filter (fun s -> s <> "" && s <> ".")
+  in
+  (* Drop any absolute prefix: keep from the first recognized top dir. *)
+  let rec from_top = function
+    | [] -> []
+    | ("lib" | "bin" | "bench" | "examples" | "test") :: _ as rest -> rest
+    | _ :: rest -> from_top rest
+  in
+  match from_top parts with
+  | "lib" :: sub :: _ :: _ -> { top = `Lib; sub = Some sub }
+  | "lib" :: _ -> { top = `Lib; sub = None }
+  | "bin" :: _ -> { top = `Bin; sub = None }
+  | "bench" :: _ -> { top = `Bench; sub = None }
+  | "examples" :: _ -> { top = `Examples; sub = None }
+  | _ -> { top = `Other; sub = None }
+
+let applies rule scope =
+  match rule with
+  | R1 | R5 -> scope.top = `Lib
+  | R2 -> true
+  | R3 -> (
+      scope.top = `Lib
+      &&
+      match scope.sub with
+      | Some ("dsim" | "protocols" | "adversary") -> true
+      | _ -> false)
+  | R4 -> (
+      scope.top = `Lib
+      &&
+      match scope.sub with
+      | Some ("stats" | "lowerbound") -> true
+      | _ -> false)

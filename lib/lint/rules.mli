@@ -1,0 +1,39 @@
+(** The determinism lint rules.
+
+    The reproduction's value rests on every execution being a pure
+    function of its seed; these rules ban the OCaml constructs that
+    silently break that property (ambient randomness, version-dependent
+    hashing, polymorphic structural comparison on protocol data, exact
+    float equality, and stray printing that bypasses the trace). *)
+
+type t = R1 | R2 | R3 | R4 | R5
+
+val all : t list
+
+val id : t -> string
+(** "R1" .. "R5". *)
+
+val of_id : string -> t option
+(** Case-insensitive parse of "R1" .. "R5". *)
+
+val title : t -> string
+(** One-line rule name, e.g. "ambient nondeterminism source". *)
+
+val describe : t -> string
+(** One-paragraph rationale (used by [--explain] and the docs). *)
+
+(** Where a scanned file lives; decides which rules apply. *)
+type scope = {
+  top : [ `Lib | `Bin | `Bench | `Examples | `Other ];
+  sub : string option;  (** e.g. ["dsim"] for a file under [lib/dsim/]. *)
+}
+
+val scope_of_path : string -> scope
+(** Classify a path such as "lib/dsim/engine.ml"; leading "./" and
+    absolute prefixes up to a known top-level directory are ignored. *)
+
+val applies : t -> scope -> bool
+(** Whether the rule is checked at all for files in this scope:
+    R1 and R5 in [lib/] only; R2 everywhere; R3 in [lib/dsim],
+    [lib/protocols], [lib/adversary]; R4 in [lib/stats] and
+    [lib/lowerbound]. *)

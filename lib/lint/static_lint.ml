@@ -1,0 +1,221 @@
+type diagnostic = {
+  path : string;
+  line : int;
+  col : int;
+  rule : Rules.t;
+  message : string;
+}
+
+let compare_diagnostic a b =
+  match String.compare a.path b.path with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare (Rules.id a.rule) (Rules.id b.rule)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments: (* lint: allow R3 *) covers its own line and
+   the following one.                                                  *)
+
+type suppression = All | Only of Rules.t list
+
+let find_substring haystack needle from =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = if i + nl > hl then None
+    else if String.sub haystack i nl = needle then Some i
+    else scan (i + 1)
+  in
+  if from > hl then None else scan from
+
+let parse_suppression_line line =
+  match find_substring line "lint:" 0 with
+  | None -> None
+  | Some at -> (
+      let rest = String.sub line (at + 5) (String.length line - at - 5) in
+      let rest = String.trim rest in
+      if not (String.length rest >= 5 && String.sub rest 0 5 = "allow") then None
+      else
+        let spec = String.sub rest 5 (String.length rest - 5) in
+        (* Cut at the comment terminator if present. *)
+        let spec =
+          match find_substring spec "*)" 0 with
+          | Some stop -> String.sub spec 0 stop
+          | None -> spec
+        in
+        let tokens =
+          String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) spec)
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        if List.exists (fun t -> String.lowercase_ascii t = "all") tokens then Some All
+        else
+          match List.filter_map Rules.of_id tokens with
+          | [] -> None
+          | rules -> Some (Only rules))
+
+let suppressions_of_source source =
+  let table = Hashtbl.create 8 in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      match parse_suppression_line line with
+      | None -> ()
+      | Some s -> Hashtbl.replace table (i + 1) s)
+    lines;
+  table
+
+let suppressed table ~line rule =
+  let covers l =
+    match Hashtbl.find_opt table l with
+    | Some All -> true
+    | Some (Only rules) -> List.mem rule rules
+    | None -> false
+  in
+  covers line || covers (line - 1)
+
+(* ------------------------------------------------------------------ *)
+(* AST walk.                                                           *)
+
+let ident_name expr =
+  match expr.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> Some (String.concat "." (Longident.flatten txt))
+  | _ -> None
+
+let rec strip expr =
+  match expr.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constraint (e, _) -> strip e
+  | Parsetree.Pexp_coerce (e, _, _) -> strip e
+  | _ -> expr
+
+let is_record e =
+  match (strip e).Parsetree.pexp_desc with Parsetree.Pexp_record _ -> true | _ -> false
+
+let is_construct_with_payload e =
+  match (strip e).Parsetree.pexp_desc with
+  | Parsetree.Pexp_construct (_, Some _) -> true
+  | _ -> false
+
+let is_field_access e =
+  match (strip e).Parsetree.pexp_desc with Parsetree.Pexp_field _ -> true | _ -> false
+
+let is_float_literal e =
+  match (strip e).Parsetree.pexp_desc with
+  | Parsetree.Pexp_constant (Parsetree.Pconst_float _) -> true
+  | _ -> false
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let r1_banned name =
+  starts_with "Random." name
+  || starts_with "Stdlib.Random." name
+  || List.mem name [ "Sys.time"; "Stdlib.Sys.time"; "Unix.gettimeofday" ]
+
+let r2_banned name =
+  List.mem name
+    [ "Hashtbl.hash"; "Stdlib.Hashtbl.hash"; "Hashtbl.seeded_hash";
+      "Stdlib.Hashtbl.seeded_hash" ]
+
+let r5_banned name =
+  List.mem name
+    [ "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+      "print_string"; "print_endline"; "print_newline"; "print_int";
+      "print_char"; "print_float"; "print_bytes"; "prerr_string";
+      "prerr_endline"; "prerr_newline"; "Stdlib.print_string";
+      "Stdlib.print_endline" ]
+
+let lint_source ?(hash_allowlist = []) ~path source =
+  let scope = Rules.scope_of_path path in
+  let suppressions = suppressions_of_source source in
+  let hash_allowed =
+    List.exists (fun fragment -> find_substring path fragment 0 <> None) hash_allowlist
+  in
+  let diagnostics = ref [] in
+  let report loc rule message =
+    let start = loc.Location.loc_start in
+    let line = start.Lexing.pos_lnum in
+    if
+      Rules.applies rule scope
+      && not (suppressed suppressions ~line rule)
+      && not (rule = Rules.R2 && hash_allowed)
+    then
+      diagnostics :=
+        { path; line; col = start.Lexing.pos_cnum - start.Lexing.pos_bol; rule; message }
+        :: !diagnostics
+  in
+  let check_ident expr =
+    match ident_name expr with
+    | None -> ()
+    | Some name ->
+        let loc = expr.Parsetree.pexp_loc in
+        if r1_banned name then
+          report loc Rules.R1
+            (Printf.sprintf "`%s` is an ambient nondeterminism source; derive from Prng.Stream instead" name);
+        if r2_banned name then
+          report loc Rules.R2
+            (Printf.sprintf "`%s` is version-dependent; use a stable hash (e.g. FNV-1a)" name);
+        if r5_banned name then
+          report loc Rules.R5
+            (Printf.sprintf "`%s` prints from library code; route output through Dsim.Obs / Dsim.Trace_export" name)
+  in
+  let check_apply expr =
+    match expr.Parsetree.pexp_desc with
+    | Parsetree.Pexp_apply (f, args) -> (
+        match ident_name f with
+        | Some ("compare" as op) ->
+            let args = List.map snd args in
+            if
+              List.exists
+                (fun a -> is_record a || is_construct_with_payload a || is_field_access a)
+                args
+            then
+              report expr.Parsetree.pexp_loc Rules.R3
+                (Printf.sprintf
+                   "bare polymorphic `%s` on record/constructor/field data; use a named comparator (Int.compare, Bool.equal, ...)"
+                   op)
+        | Some (("=" | "<>") as op) ->
+            let args = List.map snd args in
+            if List.exists (fun a -> is_record a || is_construct_with_payload a) args then
+              report expr.Parsetree.pexp_loc Rules.R3
+                (Printf.sprintf
+                   "bare polymorphic `%s` against a record/constructor value; use a named comparator (Option.equal, Obs.estimate_is, ...)"
+                   op);
+            if List.exists is_float_literal args then
+              report expr.Parsetree.pexp_loc Rules.R4
+                (Printf.sprintf
+                   "`%s` against a float literal; use Float.equal or an explicit tolerance" op)
+        | _ -> ())
+    | _ -> ()
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self expr ->
+          check_ident expr;
+          check_apply expr;
+          Ast_iterator.default_iterator.expr self expr);
+    }
+  in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast ->
+      iterator.structure iterator ast;
+      Ok (List.sort compare_diagnostic !diagnostics)
+  | exception exn ->
+      let detail =
+        match Location.error_of_exn exn with
+        | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+        | _ -> Printexc.to_string exn
+      in
+      Error (Printf.sprintf "%s: parse error: %s" path (String.trim detail))
+
+let lint_file ?hash_allowlist path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source -> lint_source ?hash_allowlist ~path source
+  | exception Sys_error message -> Error message

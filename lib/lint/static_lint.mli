@@ -1,0 +1,32 @@
+(** Layer 1: the AST-driven determinism linter.
+
+    Parses OCaml sources with [compiler-libs] and walks the parsetree
+    with {!Ast_iterator}, reporting violations of the {!Rules} with
+    file:line positions.  Inline suppression is supported: a comment
+
+    {[ (* lint: allow R3 *) ]}
+
+    anywhere on a line disables the named rules (comma/space separated,
+    or [all]) on that line and the next one. *)
+
+type diagnostic = {
+  path : string;
+  line : int;
+  col : int;
+  rule : Rules.t;
+  message : string;
+}
+
+val compare_diagnostic : diagnostic -> diagnostic -> int
+(** Order by (path, line, col, rule). *)
+
+val lint_source :
+  ?hash_allowlist:string list -> path:string -> string -> (diagnostic list, string) result
+(** Lint one compilation unit given as a string.  [path] determines the
+    rule scope (see {!Rules.scope_of_path}) and is echoed in
+    diagnostics.  [hash_allowlist] entries are path substrings for
+    which rule R2 is waived.  [Error message] on a parse failure. *)
+
+val lint_file :
+  ?hash_allowlist:string list -> string -> (diagnostic list, string) result
+(** Read and lint a file from disk. *)

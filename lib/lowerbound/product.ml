@@ -50,7 +50,7 @@ let prob_exact t predicate =
   let point = Array.make n 0 in
   (* Depth-first enumeration with running probability. *)
   let rec walk i p acc =
-    if p = 0.0 then acc
+    if Float.equal p 0.0 then acc
     else if i = n then if predicate point then acc +. p else acc
     else begin
       let row = t.pmfs.(i) in

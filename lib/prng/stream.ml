@@ -15,7 +15,23 @@ let derive t i =
        (Int64.mul base 0x2545F4914F6CDD1DL)
        (Splitmix.int64_seed_of_int i))
 
-let derive_name t name = derive t (Hashtbl.hash name)
+(* FNV-1a over the name bytes: stable across OCaml versions and word
+   sizes, unlike Hashtbl.hash, so name-derived streams reproduce
+   identically on every toolchain. *)
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let derive_name t name =
+  let snapshot = Splitmix.copy t in
+  let base = Splitmix.next_int64 snapshot in
+  Splitmix.create
+    (Int64.add (Int64.mul base 0x2545F4914F6CDD1DL) (fnv1a64 name))
 
 let bool = Splitmix.bool
 let int_below = Splitmix.int_below

@@ -20,7 +20,8 @@ val derive : t -> int -> t
     twice from streams in the same state yields identical children. *)
 
 val derive_name : t -> string -> t
-(** Derive a child keyed by a string label (hashed). *)
+(** Derive a child keyed by a string label, hashed with FNV-1a so the
+    derivation is identical across OCaml versions and word sizes. *)
 
 val bool : t -> bool
 val int_below : t -> int -> int

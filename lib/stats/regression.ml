@@ -12,10 +12,10 @@ let linear points =
     List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0.0 points
   in
   let syy = List.fold_left (fun acc (_, y) -> acc +. ((y -. my) *. (y -. my))) 0.0 points in
-  if sxx = 0.0 then invalid_arg "Regression.linear: all x values identical";
+  if Float.equal sxx 0.0 then invalid_arg "Regression.linear: all x values identical";
   let slope = sxy /. sxx in
   let intercept = my -. (slope *. mx) in
-  let r_squared = if syy = 0.0 then 1.0 else sxy *. sxy /. (sxx *. syy) in
+  let r_squared = if Float.equal syy 0.0 then 1.0 else sxy *. sxy /. (sxx *. syy) in
   { slope; intercept; r_squared; n_points = n }
 
 let log2 x = log x /. log 2.0

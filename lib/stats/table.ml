@@ -12,7 +12,7 @@ let cell_to_string = function
   | F f ->
       if Float.is_nan f then "-"
       else if Float.is_integer f && Float.abs f < 1e9 then Printf.sprintf "%.1f" f
-      else if Float.abs f >= 1e5 || (Float.abs f < 1e-3 && f <> 0.0) then
+      else if Float.abs f >= 1e5 || (Float.abs f < 1e-3 && not (Float.equal f 0.0)) then
         Printf.sprintf "%.3e" f
       else Printf.sprintf "%.4g" f
   | Pct p -> if Float.is_nan p then "-" else Printf.sprintf "%.1f%%" (100.0 *. p)

@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Run the determinism lint pass: the @lint alias fails the build on any
+# violation, then the CLI re-emits the report as JSON for tooling.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @lint
+exec dune exec bin/lint.exe -- --format json "$@"

@@ -78,6 +78,7 @@ let test_windowed_sweep () =
       ~strategy:(fun _ -> Adversary.Benign.windowed ())
       ~spec:(spec ~n:13 ~t:2)
       ~seeds:(List.init 10 (fun i -> i))
+      ()
   in
   Alcotest.(check int) "10 runs" 10 result.Agreement.Ensemble.runs;
   Alcotest.(check bool) "all agree" true
@@ -96,6 +97,7 @@ let test_stepwise_sweep () =
       ~strategy:(fun seed -> Adversary.Benign.random_fair ~seed ~drop_probability:0.2 ())
       ~spec:(spec ~n:7 ~t:2)
       ~seeds:(List.init 6 (fun i -> i))
+      ()
   in
   Alcotest.(check int) "6 runs" 6 result.Agreement.Ensemble.runs;
   Alcotest.(check bool) "all agree" true (Agreement.Ensemble.agreement_rate result = 1.0);
@@ -109,6 +111,7 @@ let test_histogram_fresh_per_sweep () =
       ~strategy:(fun _ -> Adversary.Benign.windowed ())
       ~spec:(spec ~n:13 ~t:2)
       ~seeds:[ 1; 2; 3 ]
+      ()
   in
   let a = run () in
   let b = run () in
@@ -125,6 +128,7 @@ let test_budget_exhaustion_counts () =
       ~strategy:(fun _ -> Adversary.Split_vote.windowed ())
       ~spec:tight
       ~seeds:[ 1; 2; 3 ]
+      ()
   in
   Alcotest.(check bool) "nothing terminated" true
     (result.Agreement.Ensemble.terminated = 0);

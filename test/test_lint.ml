@@ -1,0 +1,392 @@
+(* The determinism lint pass, both layers: the static AST linter
+   (positive and negative fixtures per rule, scoping, suppression) and
+   the runtime trace invariant checker (clean real executions, plus
+   hand-built traces violating each invariant). *)
+
+open Lintkit
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1: static linter.                                             *)
+
+let diags ?hash_allowlist ~path source =
+  match Static_lint.lint_source ?hash_allowlist ~path source with
+  | Ok ds -> ds
+  | Error message -> Alcotest.failf "unexpected parse error: %s" message
+
+let rules_of ds = List.map (fun d -> Rules.id d.Static_lint.rule) ds
+
+let check_rules what expected ds =
+  Alcotest.(check (list string)) what expected (rules_of ds)
+
+let test_r1_ambient_randomness () =
+  let src = "let roll () = Random.int 6\nlet now () = Sys.time ()" in
+  check_rules "flagged in lib" [ "R1"; "R1" ] (diags ~path:"lib/dsim/foo.ml" src);
+  check_rules "gettimeofday flagged" [ "R1" ]
+    (diags ~path:"lib/stats/foo.ml" "let t () = Unix.gettimeofday ()");
+  check_rules "bin may use ambient randomness" []
+    (diags ~path:"bin/foo.ml" src);
+  check_rules "examples may too" [] (diags ~path:"examples/foo.ml" src)
+
+let test_r1_position () =
+  let src = "let a = 1\nlet roll () = Random.bool ()" in
+  match diags ~path:"lib/prng/foo.ml" src with
+  | [ d ] ->
+      Alcotest.(check int) "line" 2 d.Static_lint.line;
+      Alcotest.(check string) "path echoed" "lib/prng/foo.ml" d.Static_lint.path
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
+let test_r2_hashtbl_hash () =
+  let src = "let h name = Hashtbl.hash name" in
+  check_rules "flagged in lib" [ "R2" ] (diags ~path:"lib/prng/stream.ml" src);
+  check_rules "flagged in bin too (R2 is global)" [ "R2" ]
+    (diags ~path:"bin/foo.ml" src);
+  check_rules "allowlist waives" []
+    (diags ~hash_allowlist:[ "lib/prng/" ] ~path:"lib/prng/stream.ml" src);
+  check_rules "seeded variant flagged" [ "R2" ]
+    (diags ~path:"lib/dsim/foo.ml" "let h x = Hashtbl.seeded_hash 7 x")
+
+let test_r3_polymorphic_compare () =
+  let field_cmp = "let sort l = List.sort (fun a b -> compare a.round b.round) l" in
+  check_rules "compare on fields flagged in lib/dsim" [ "R3" ]
+    (diags ~path:"lib/dsim/foo.ml" field_cmp);
+  check_rules "and in lib/adversary" [ "R3" ]
+    (diags ~path:"lib/adversary/foo.ml" field_cmp);
+  check_rules "not in lib/stats (out of R3 scope)" []
+    (diags ~path:"lib/stats/foo.ml" field_cmp);
+  check_rules "equality against Some payload flagged" [ "R3" ]
+    (diags ~path:"lib/protocols/foo.ml" "let f x = x = Some true");
+  check_rules "equality against None is fine" []
+    (diags ~path:"lib/protocols/foo.ml" "let f x = x = None");
+  check_rules "record literal equality flagged" [ "R3" ]
+    (diags ~path:"lib/dsim/foo.ml" "let f x = x = { id = 1 }");
+  check_rules "compare on plain ints is fine" []
+    (diags ~path:"lib/dsim/foo.ml" "let f a b = compare a b");
+  check_rules "named comparators are fine" []
+    (diags ~path:"lib/dsim/foo.ml"
+       "let sort l = List.sort (fun a b -> Int.compare a.round b.round) l")
+
+let test_r4_float_equality () =
+  let src = "let zero x = x = 0.0" in
+  check_rules "float-literal = flagged in lib/stats" [ "R4" ]
+    (diags ~path:"lib/stats/foo.ml" src);
+  check_rules "and in lib/lowerbound" [ "R4" ]
+    (diags ~path:"lib/lowerbound/foo.ml" "let f x = x <> 1.5");
+  check_rules "out of scope in lib/dsim" [] (diags ~path:"lib/dsim/foo.ml" src);
+  check_rules "Float.equal is fine" []
+    (diags ~path:"lib/stats/foo.ml" "let zero x = Float.equal x 0.0")
+
+let test_r5_printing () =
+  let src = "let shout () = print_endline \"hi\"" in
+  check_rules "printing flagged in lib" [ "R5" ]
+    (diags ~path:"lib/dsim/foo.ml" src);
+  check_rules "Printf.printf flagged" [ "R5" ]
+    (diags ~path:"lib/stats/foo.ml" "let f n = Printf.printf \"%d\" n");
+  check_rules "examples may print" [] (diags ~path:"examples/foo.ml" src);
+  check_rules "bin may print" [] (diags ~path:"bin/foo.ml" src);
+  check_rules "formatter-directed output is fine" []
+    (diags ~path:"lib/dsim/foo.ml"
+       "let pp ppf n = Format.fprintf ppf \"%d\" n")
+
+let test_suppression () =
+  check_rules "same-line suppression" []
+    (diags ~path:"lib/dsim/foo.ml"
+       "let f x = x = Some true (* lint: allow R3 *)");
+  check_rules "previous-line suppression" []
+    (diags ~path:"lib/dsim/foo.ml"
+       "(* lint: allow R3 *)\nlet f x = x = Some true");
+  check_rules "allow all" []
+    (diags ~path:"lib/dsim/foo.ml"
+       "(* lint: allow all *)\nlet f () = Random.bool ()");
+  check_rules "wrong rule does not suppress" [ "R3" ]
+    (diags ~path:"lib/dsim/foo.ml"
+       "let f x = x = Some true (* lint: allow R1 *)");
+  check_rules "suppression does not leak two lines down" [ "R1" ]
+    (diags ~path:"lib/dsim/foo.ml"
+       "(* lint: allow R1 *)\nlet a = 1\nlet f () = Random.bool ()")
+
+let test_parse_error () =
+  match Static_lint.lint_source ~path:"lib/dsim/bad.ml" "let let let" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_scopes () =
+  let scope path = Rules.scope_of_path path in
+  Alcotest.(check bool) "R1 applies under lib" true
+    (Rules.applies Rules.R1 (scope "lib/dsim/engine.ml"));
+  Alcotest.(check bool) "R1 not under examples" false
+    (Rules.applies Rules.R1 (scope "examples/quickstart.ml"));
+  Alcotest.(check bool) "absolute prefixes ignored" true
+    (Rules.applies Rules.R3 (scope "/root/repo/lib/adversary/crash.ml"));
+  Alcotest.(check bool) "R4 only in stats/lowerbound" false
+    (Rules.applies Rules.R4 (scope "lib/dsim/engine.ml"));
+  Alcotest.(check bool) "R2 everywhere" true
+    (Rules.applies Rules.R2 (scope "bench/foo.ml"))
+
+let test_rule_ids () =
+  List.iter
+    (fun r ->
+      match Rules.of_id (Rules.id r) with
+      | Some r' -> Alcotest.(check string) "roundtrip" (Rules.id r) (Rules.id r')
+      | None -> Alcotest.fail "of_id failed on own id")
+    Rules.all;
+  Alcotest.(check bool) "case-insensitive" true (Rules.of_id "r3" = Some Rules.R3);
+  Alcotest.(check bool) "unknown rejected" true (Rules.of_id "R9" = None)
+
+(* The repo itself must be clean: the same invocation the @lint alias
+   runs, as a tier-1 test. *)
+let test_repo_is_clean () =
+  (* dune runs tests from _build/default/test; walk upwards to the
+     first directory that looks like the project root (dune copies the
+     sources into _build/default, so that level already qualifies). *)
+  let looks_like_root dir =
+    Sys.file_exists (Filename.concat dir "dune-project")
+    && Sys.file_exists (Filename.concat dir "lib")
+  in
+  let rec find dir depth =
+    if looks_like_root dir then Some dir
+    else if depth = 0 then None
+    else find (Filename.concat dir Filename.parent_dir_name) (depth - 1)
+  in
+  match find Filename.current_dir_name 5 with
+  | None -> Alcotest.fail "could not locate the project root"
+  | Some root ->
+      let report = Driver.scan ~root () in
+      Alcotest.(check int) "no violations" 0
+        (List.length report.Driver.diagnostics);
+      Alcotest.(check (list string)) "no errors" [] report.Driver.errors;
+      Alcotest.(check bool) "scanned a plausible number of files" true
+        (report.Driver.files_scanned > 40)
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: trace linter.                                              *)
+
+let config ?(n = 2) ?(t = 1) ?(windowed = false) ?(fifo = true) ?quorum () =
+  { Trace_lint.n; t; windowed; fifo; decision_quorum = quorum }
+
+let invariants vs = List.map (fun v -> Trace_lint.invariant_id v.Trace_lint.invariant) vs
+
+let sent ~src ~dst ~msg_id ~depth = Dsim.Trace.Sent { src; dst; msg_id; depth }
+
+let delivered ~src ~dst ~msg_id ~depth =
+  Dsim.Trace.Delivered { src; dst; msg_id; depth }
+
+let test_trace_fifo_violation () =
+  (* Two messages on the 0 -> 1 channel delivered out of id order. *)
+  let events =
+    [
+      sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      sent ~src:0 ~dst:1 ~msg_id:2 ~depth:1;
+      delivered ~src:0 ~dst:1 ~msg_id:2 ~depth:1;
+      delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+    ]
+  in
+  Alcotest.(check (list string)) "fifo flagged" [ "fifo" ]
+    (invariants (Trace_lint.check (config ()) events));
+  Alcotest.(check (list string)) "waived when fifo is off" []
+    (invariants (Trace_lint.check (config ~fifo:false ()) events));
+  (* Distinct channels may interleave freely. *)
+  let interleaved =
+    [
+      sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      sent ~src:1 ~dst:0 ~msg_id:2 ~depth:1;
+      delivered ~src:1 ~dst:0 ~msg_id:2 ~depth:1;
+      delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+    ]
+  in
+  Alcotest.(check (list string)) "cross-channel order is free" []
+    (invariants (Trace_lint.check (config ()) interleaved))
+
+let test_trace_depth_violation () =
+  (* First send must have depth 1 (nothing delivered yet). *)
+  Alcotest.(check (list string)) "inflated depth flagged" [ "depth" ]
+    (invariants
+       (Trace_lint.check (config ()) [ sent ~src:0 ~dst:1 ~msg_id:1 ~depth:3 ]));
+  (* Depth grows by exactly one over the maximum delivered depth. *)
+  let chained =
+    [
+      sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      sent ~src:1 ~dst:0 ~msg_id:2 ~depth:2;
+    ]
+  in
+  Alcotest.(check (list string)) "exact chain accepted" []
+    (invariants (Trace_lint.check (config ()) chained));
+  let stale =
+    [
+      sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      sent ~src:1 ~dst:0 ~msg_id:2 ~depth:1;
+    ]
+  in
+  Alcotest.(check (list string)) "stale depth flagged" [ "depth" ]
+    (invariants (Trace_lint.check (config ()) stale))
+
+let test_trace_provenance () =
+  Alcotest.(check (list string)) "unsent delivery flagged" [ "provenance" ]
+    (invariants
+       (Trace_lint.check (config ())
+          [ delivered ~src:0 ~dst:1 ~msg_id:9 ~depth:1 ]));
+  let double =
+    [
+      sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+    ]
+  in
+  (* The duplicate delivery is both a provenance and a FIFO violation. *)
+  Alcotest.(check bool) "double delivery flagged" true
+    (List.mem "provenance"
+       (invariants (Trace_lint.check (config ()) double)));
+  let mismatched =
+    [
+      sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      delivered ~src:1 ~dst:0 ~msg_id:1 ~depth:1;
+    ]
+  in
+  Alcotest.(check (list string)) "endpoint rewrite flagged" [ "provenance" ]
+    (invariants (Trace_lint.check (config ()) mismatched))
+
+let test_trace_window_discipline () =
+  let cfg = config ~n:3 ~t:1 ~windowed:true () in
+  let resets_over_budget =
+    [
+      Dsim.Trace.Reset_done { pid = 0 };
+      Dsim.Trace.Reset_done { pid = 1 };
+      Dsim.Trace.Window_closed { index = 1 };
+    ]
+  in
+  Alcotest.(check (list string)) "t+1 resets in one window flagged" [ "window" ]
+    (invariants (Trace_lint.check cfg resets_over_budget));
+  let across_windows =
+    [
+      sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      Dsim.Trace.Window_closed { index = 1 };
+      delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+    ]
+  in
+  Alcotest.(check (list string)) "stale delivery flagged" [ "window" ]
+    (invariants (Trace_lint.check cfg across_windows));
+  let in_window =
+    [
+      sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+      Dsim.Trace.Reset_done { pid = 0 };
+      Dsim.Trace.Window_closed { index = 1 };
+    ]
+  in
+  Alcotest.(check (list string)) "legal window accepted" []
+    (invariants (Trace_lint.check cfg in_window))
+
+let test_trace_quorum () =
+  let cfg = config ~n:3 ~t:1 ~quorum:2 () in
+  let premature =
+    [ Dsim.Trace.Decided { pid = 0; value = true; step = 1; window = 0; chain_depth = 0 } ]
+  in
+  Alcotest.(check (list string)) "decision without a quorum flagged" [ "quorum" ]
+    (invariants (Trace_lint.check cfg premature));
+  let conflict =
+    [
+      sent ~src:1 ~dst:0 ~msg_id:1 ~depth:1;
+      sent ~src:2 ~dst:0 ~msg_id:2 ~depth:1;
+      sent ~src:1 ~dst:2 ~msg_id:3 ~depth:1;
+      sent ~src:0 ~dst:2 ~msg_id:4 ~depth:1;
+      delivered ~src:1 ~dst:0 ~msg_id:1 ~depth:1;
+      delivered ~src:2 ~dst:0 ~msg_id:2 ~depth:1;
+      delivered ~src:1 ~dst:2 ~msg_id:3 ~depth:1;
+      delivered ~src:0 ~dst:2 ~msg_id:4 ~depth:1;
+      Dsim.Trace.Decided { pid = 0; value = true; step = 5; window = 0; chain_depth = 1 };
+      Dsim.Trace.Decided { pid = 2; value = false; step = 6; window = 0; chain_depth = 1 };
+    ]
+  in
+  Alcotest.(check (list string)) "opposite decisions flagged" [ "quorum" ]
+    (invariants (Trace_lint.check cfg conflict))
+
+let test_audit_real_windowed_run () =
+  let n = 13 and t = 2 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let config =
+    Dsim.Engine.init
+      ~protocol:(Protocols.Lewko_variant.protocol ())
+      ~n ~fault_bound:t ~inputs ~seed:11 ~record_events:true ()
+  in
+  ignore
+    (Dsim.Runner.run_windows config
+       ~strategy:(Adversary.Split_vote.windowed_with_resets ())
+       ~max_windows:50_000 ~stop:`All_decided);
+  Alcotest.(check (list string)) "real execution audits clean" []
+    (invariants (Trace_lint.audit ~decision_quorum:(n - (2 * t)) config))
+
+let test_audit_real_stepwise_run () =
+  let n = 7 and t = 3 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let config =
+    Dsim.Engine.init
+      ~protocol:(Protocols.Ben_or.protocol ())
+      ~n ~fault_bound:t ~inputs ~seed:4 ~record_events:true ()
+  in
+  ignore
+    (Dsim.Runner.run_steps config
+       ~strategy:(Adversary.Crash.before_decision ())
+       ~max_steps:200_000 ~stop:`First_decision);
+  Alcotest.(check (list string)) "crash execution audits clean" []
+    (invariants (Trace_lint.audit ~decision_quorum:(n - t) config))
+
+let test_audit_without_events () =
+  let n = 7 and t = 1 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let config =
+    Dsim.Engine.init
+      ~protocol:(Protocols.Lewko_variant.protocol ())
+      ~n ~fault_bound:t ~inputs ~seed:2 ()
+  in
+  ignore
+    (Dsim.Runner.run_windows config
+       ~strategy:(Adversary.Benign.windowed ())
+       ~max_windows:10_000 ~stop:`All_decided);
+  Alcotest.(check (list string)) "nothing to audit, no violations" []
+    (invariants (Trace_lint.audit config))
+
+let test_ensemble_lint_wiring () =
+  let n = 13 and t = 2 in
+  let spec =
+    {
+      Agreement.Ensemble.n;
+      t;
+      inputs = Agreement.Ensemble.split_inputs ~n;
+      max_windows = 50_000;
+      max_steps = 0;
+      stop = `All_decided;
+    }
+  in
+  let result =
+    Agreement.Ensemble.run_windowed ~lint:true ~lint_quorum:(n - (2 * t))
+      ~protocol:(Protocols.Lewko_variant.protocol ())
+      ~strategy:(fun _ -> Adversary.Reset_storm.rotating ())
+      ~spec ~seeds:[ 1; 2; 3 ] ()
+  in
+  Alcotest.(check int) "three audited runs" 3 result.Agreement.Ensemble.runs;
+  Alcotest.(check int) "no violations" 0 result.Agreement.Ensemble.lint_violations
+
+let suite =
+  [
+    Alcotest.test_case "R1 ambient randomness" `Quick test_r1_ambient_randomness;
+    Alcotest.test_case "R1 position" `Quick test_r1_position;
+    Alcotest.test_case "R2 Hashtbl.hash" `Quick test_r2_hashtbl_hash;
+    Alcotest.test_case "R3 polymorphic compare" `Quick test_r3_polymorphic_compare;
+    Alcotest.test_case "R4 float equality" `Quick test_r4_float_equality;
+    Alcotest.test_case "R5 printing" `Quick test_r5_printing;
+    Alcotest.test_case "suppression comments" `Quick test_suppression;
+    Alcotest.test_case "parse errors reported" `Quick test_parse_error;
+    Alcotest.test_case "rule scoping" `Quick test_scopes;
+    Alcotest.test_case "rule ids" `Quick test_rule_ids;
+    Alcotest.test_case "repo is lint-clean" `Quick test_repo_is_clean;
+    Alcotest.test_case "trace: fifo" `Quick test_trace_fifo_violation;
+    Alcotest.test_case "trace: causal depth" `Quick test_trace_depth_violation;
+    Alcotest.test_case "trace: provenance" `Quick test_trace_provenance;
+    Alcotest.test_case "trace: window discipline" `Quick test_trace_window_discipline;
+    Alcotest.test_case "trace: quorum" `Quick test_trace_quorum;
+    Alcotest.test_case "audit: windowed run" `Quick test_audit_real_windowed_run;
+    Alcotest.test_case "audit: stepwise run" `Quick test_audit_real_stepwise_run;
+    Alcotest.test_case "audit: no events" `Quick test_audit_without_events;
+    Alcotest.test_case "ensemble wiring" `Quick test_ensemble_lint_wiring;
+  ]

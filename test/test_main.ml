@@ -27,6 +27,7 @@ let () =
       ("core", Test_core.suite);
       ("properties", Test_properties.suite);
       ("repro", Test_repro.suite);
+      ("lint", Test_lint.suite);
       ("syncsim", Test_syncsim.suite);
       ("shmem", Test_shmem.suite);
       ("sm-consensus", Test_sm_consensus.suite);

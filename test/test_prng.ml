@@ -47,6 +47,17 @@ let test_derive_name () =
   Alcotest.(check bool) "different names diverge" true
     (Prng.Stream.bits b <> Prng.Stream.bits a')
 
+(* Pinned values: derive_name's name hash is a hand-rolled FNV-1a, so
+   these draws must be identical on every platform and OCaml version.
+   A change here means seed-reproducibility was silently broken. *)
+let test_derive_name_pinned () =
+  let draw name =
+    Prng.Stream.bits (Prng.Stream.derive_name (Prng.Stream.root 3) name)
+  in
+  Alcotest.(check int) "pinned draw (adversary)" 76252243 (draw "adversary");
+  Alcotest.(check int) "pinned draw (processor)" 688075149 (draw "processor");
+  Alcotest.(check int) "pinned draw (empty name)" 97103796 (draw "")
+
 let test_bool_balance () =
   let s = Prng.Stream.root 100 in
   let trues = ref 0 in
@@ -164,6 +175,8 @@ let suite =
     Alcotest.test_case "derive is stable" `Quick test_derive_stable;
     Alcotest.test_case "derive does not consume" `Quick test_derive_does_not_consume;
     Alcotest.test_case "derive by name" `Quick test_derive_name;
+    Alcotest.test_case "derive by name, pinned values" `Quick
+      test_derive_name_pinned;
     Alcotest.test_case "bool balance" `Quick test_bool_balance;
     Alcotest.test_case "int_below range" `Quick test_int_below_range;
     Alcotest.test_case "int_below uniform" `Quick test_int_below_uniform;
