@@ -4,7 +4,11 @@
 
      agreement_cli --protocol lewko --adversary balancing -n 13 -t 2 \
        --inputs split --seed 7 --trace
-*)
+
+   With --sweep COUNT the same (protocol, adversary) pair runs over
+   COUNT consecutive seeds instead and the aggregate ensemble result is
+   printed; -j spreads the sweep over domains without changing any
+   number in the output. *)
 
 type protocol_choice = Lewko | Lewko_det | Ben_or | Bracha | Bracha_validated
 
@@ -87,7 +91,56 @@ let run_stepwise protocol ~n ~t ~inputs ~seed ~adversary ~max_steps ~trace ~json
   export_trace config json;
   print_outcome protocol.Dsim.Protocol.name outcome
 
-let run protocol_name adversary n t inputs_spec seed budget trace json =
+let sweep_spec ~n ~t ~inputs_spec ~budget =
+  {
+    Agreement.Ensemble.n;
+    t;
+    inputs = (fun _seed -> parse_inputs ~n inputs_spec);
+    max_windows = budget;
+    max_steps = budget * 1000;
+    stop = `All_decided;
+  }
+
+let sweep_windowed protocol ~jobs ~adversary ~spec ~seeds =
+  let result =
+    Agreement.Ensemble.run_windowed ~jobs ~protocol
+      ~strategy:(windowed_adversary adversary)
+      ~spec ~seeds ()
+  in
+  Format.printf "@[<v>protocol: %s@,%a@]@." protocol.Dsim.Protocol.name
+    Agreement.Ensemble.pp_result result
+
+let sweep_stepwise protocol ~jobs ~adversary ~spec ~seeds =
+  let result =
+    Agreement.Ensemble.run_stepwise ~jobs ~protocol
+      ~strategy:(stepwise_adversary adversary)
+      ~spec ~seeds ()
+  in
+  Format.printf "@[<v>protocol: %s@,%a@]@." protocol.Dsim.Protocol.name
+    Agreement.Ensemble.pp_result result
+
+let run_sweep protocol_name ~jobs ~adversary ~n ~t ~inputs_spec ~seed ~count
+    ~budget =
+  let spec = sweep_spec ~n ~t ~inputs_spec ~budget in
+  let seeds = List.init count (fun i -> seed + i) in
+  match protocol_name with
+  | Lewko ->
+      sweep_windowed (Protocols.Lewko_variant.protocol ()) ~jobs ~adversary ~spec
+        ~seeds
+  | Lewko_det ->
+      sweep_windowed
+        (Protocols.Lewko_variant.protocol ~coin:(fun _ -> false) ())
+        ~jobs ~adversary ~spec ~seeds
+  | Ben_or ->
+      sweep_stepwise (Protocols.Ben_or.protocol ()) ~jobs ~adversary ~spec ~seeds
+  | Bracha ->
+      sweep_stepwise (Protocols.Bracha.protocol ()) ~jobs ~adversary ~spec ~seeds
+  | Bracha_validated ->
+      sweep_stepwise
+        (Protocols.Bracha.protocol ~validated:true ())
+        ~jobs ~adversary ~spec ~seeds
+
+let run_single protocol_name adversary n t inputs_spec seed budget trace json =
   let inputs = parse_inputs ~n inputs_spec in
   match protocol_name with
   | Lewko ->
@@ -166,12 +219,37 @@ let json_arg =
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc:"Write the trace as JSON Lines to FILE.")
 
+let sweep_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "sweep" ] ~docv:"COUNT"
+        ~doc:
+          "Instead of one run, sweep COUNT consecutive seeds (starting at \
+           --seed) and print the aggregate result; --trace/--json are \
+           ignored in this mode.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Agreement.Par_sweep.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:
+          "Domains used by --sweep.  The aggregate is bit-identical for \
+           every value.")
+
+let run protocol_name adversary n t inputs_spec seed budget trace json sweep
+    jobs =
+  if sweep > 0 then
+    run_sweep protocol_name ~jobs ~adversary ~n ~t ~inputs_spec ~seed
+      ~count:sweep ~budget
+  else run_single protocol_name adversary n t inputs_spec seed budget trace json
+
 let cmd =
   let doc = "Run one agreement execution under a chosen adversary" in
   Cmd.v
     (Cmd.info "agreement_cli" ~doc)
     Term.(
       const run $ protocol $ adversary $ n_arg $ t_arg $ inputs_arg $ seed_arg
-      $ budget_arg $ trace_arg $ json_arg)
+      $ budget_arg $ trace_arg $ json_arg $ sweep_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

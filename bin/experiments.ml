@@ -4,9 +4,9 @@
 
 let known_ids = Agreement.Repro.experiment_ids
 
-let run_selected ~quick ~ids ~markdown ~csv_dir =
+let run_selected ~quick ~jobs ~ids ~markdown ~csv_dir =
   let scale = if quick then `Quick else `Full in
-  let selected = Agreement.Repro.selected ~scale ~ids in
+  let selected = Agreement.Repro.selected ~jobs ~scale ~ids () in
   if selected = [] then begin
     prerr_endline "no matching experiment ids; use --list";
     exit 1
@@ -37,6 +37,16 @@ let quick =
   let doc = "Shrink seed counts and sweeps (for smoke runs)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+let jobs =
+  let doc =
+    "Run seed sweeps on $(docv) domains.  Output is bit-identical for \
+     every value; defaults to the recommended domain count."
+  in
+  Arg.(
+    value
+    & opt int (Agreement.Par_sweep.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
 let ids =
   let doc = "Run only this experiment id (repeatable); default: all." in
   Arg.(value & opt_all string [] & info [ "experiment"; "e" ] ~docv:"ID" ~doc)
@@ -53,8 +63,9 @@ let csv_dir =
   let doc = "Additionally write one CSV per experiment into this directory." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
-let main quick ids markdown list_ csv_dir =
-  if list_ then list_ids () else run_selected ~quick ~ids ~markdown ~csv_dir
+let main quick jobs ids markdown list_ csv_dir =
+  if list_ then list_ids ()
+  else run_selected ~quick ~jobs ~ids ~markdown ~csv_dir
 
 let cmd =
   let doc =
@@ -63,6 +74,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const main $ quick $ ids $ markdown $ list_flag $ csv_dir)
+    Term.(const main $ quick $ jobs $ ids $ markdown $ list_flag $ csv_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -20,7 +20,7 @@ let run root dirs format explain =
             (Lintkit.Rules.describe rule);
           0
       | None ->
-          Format.eprintf "unknown rule %S (expected R1..R5)@." id;
+          Format.eprintf "unknown rule %S (expected R1..R6)@." id;
           2)
   | None ->
       let dirs = if dirs = [] then Lintkit.Driver.default_dirs else dirs in
@@ -47,7 +47,7 @@ let format =
 
 let explain =
   Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"RULE"
-         ~doc:"Print the rationale for one rule (R1..R5) and exit.")
+         ~doc:"Print the rationale for one rule (R1..R6) and exit.")
 
 let cmd =
   let doc = "static determinism linter for the agreement reproduction" in

@@ -1,0 +1,53 @@
+(* The sanctioned home of Domain and Atomic: static-lint rule R6 flags
+   multicore primitives everywhere else (the linter's domain allowlist
+   names exactly this file), so all parallelism routes through here. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let chunk ~size items =
+  if size <= 0 then invalid_arg "Par_sweep.chunk: size must be positive";
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go = function
+    | [] -> []
+    | items ->
+        let c, rest = take size [] items in
+        c :: go rest
+  in
+  go items
+
+let map_reduce ?(jobs = 1) ~merge ~init ~f items =
+  let n = Array.length items in
+  let workers = Int.min (Int.max 1 jobs) n in
+  if workers <= 1 then Array.fold_left (fun acc x -> merge acc (f x)) init items
+  else begin
+    (* Each slot is written by exactly one worker (whoever claimed its
+       index) and read only after every worker has joined, so the array
+       is race-free; the fold below is the only ordering that matters
+       and it is fixed. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    List.iter Domain.join spawned;
+    Array.fold_left
+      (fun acc slot ->
+        match slot with
+        | Some (Ok v) -> merge acc v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      init results
+  end

@@ -1,0 +1,39 @@
+(** Deterministic Domain-based parallel map-reduce.
+
+    The one place in the codebase allowed to touch [Domain]/[Atomic]
+    (enforced by static-lint rule R6).  The contract that makes
+    parallel sweeps safe to offer at all:
+
+    - [f] must be a pure function of its item (every simulation run
+      already is: all randomness flows from per-seed PRNG streams);
+    - [merge] must be commutative and associative with [init] as
+      identity ({!Stats.Summary.Exact.merge}, {!Stats.Histogram.merge},
+      [Ensemble.Partial.merge] are — exactly, on integers).
+
+    Under that contract the result is {b bit-identical} for every
+    [jobs] value: workers pull item indices from a shared counter
+    (dynamic load balancing, since run durations are heavily skewed),
+    but each per-item result lands in its index's slot and the final
+    reduction folds the slots in index order on the calling domain.
+    Scheduling decides only {i when} a slot is filled, never what it
+    contains or in which order it is reduced. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: what [-j] defaults to in the
+    experiment binaries. *)
+
+val chunk : size:int -> 'a list -> 'a list list
+(** Split into consecutive chunks of [size] (the last may be shorter).
+    [size] must be positive.  Chunk boundaries depend only on [size]
+    and the list, never on [jobs]. *)
+
+val map_reduce :
+  ?jobs:int -> merge:('b -> 'b -> 'b) -> init:'b -> f:('a -> 'b) -> 'a array -> 'b
+(** [map_reduce ~jobs ~merge ~init ~f items] computes
+    [merge (... (merge init (f items.(0))) ...) (f items.(n-1))] —
+    i.e. the in-order left fold — evaluating the [f items.(i)] on up to
+    [jobs] domains (default 1; capped by the item count).  With
+    [jobs <= 1] no domain is spawned and the fold runs inline.
+
+    If some [f items.(i)] raises, the first exception in index order is
+    re-raised on the calling domain after all workers have joined. *)

@@ -9,7 +9,7 @@ let fault_bound_for n = max 1 (Protocols.Thresholds.max_fault_bound ~n)
 (* engine's structural invariants (FIFO channels, causal depths,       *)
 (* provenance, window discipline, decision quorums).                   *)
 
-let e0_trace_lint ~scale =
+let e0_trace_lint ?(jobs = 1) ~scale () =
   let seed_count, max_windows, max_steps =
     match scale with
     | `Full -> (20, 2_000, 400_000)
@@ -48,7 +48,7 @@ let e0_trace_lint ~scale =
   List.iter
     (fun (name, strategy) ->
       let result =
-        Ensemble.run_windowed ~lint:true ~lint_quorum:quorum
+        Ensemble.run_windowed ~jobs ~lint:true ~lint_quorum:quorum
           ~protocol:(Protocols.Lewko_variant.protocol ())
           ~strategy ~spec ~seeds:(seeds_list seed_count) ()
       in
@@ -74,7 +74,7 @@ let e0_trace_lint ~scale =
       }
     in
     let result =
-      Ensemble.run_stepwise ~lint:true ~lint_fifo:fifo ~lint_quorum:quorum
+      Ensemble.run_stepwise ~jobs ~lint:true ~lint_fifo:fifo ~lint_quorum:quorum
         ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) ()
     in
     row ~protocol_name ~discipline:"stepwise" ~adversary:name ~n ~t ~quorum
@@ -117,7 +117,7 @@ let e1_adversaries :
     ("split-brain", fun _seed -> Adversary.Split_brain.windowed ());
   ]
 
-let e1_theorem4_matrix ~scale =
+let e1_theorem4_matrix ?(jobs = 1) ~scale () =
   let ns, seed_count, max_windows =
     match scale with
     | `Full -> ([ 12; 18; 24; 30 ], 120, 20_000)
@@ -145,7 +145,7 @@ let e1_theorem4_matrix ~scale =
       List.iter
         (fun (name, strategy) ->
           let result =
-            Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+            Ensemble.run_windowed ~jobs ~protocol:(Protocols.Lewko_variant.protocol ())
               ~strategy ~spec ~seeds:(seeds_list seed_count) ()
           in
           Stats.Table.add_row table
@@ -181,7 +181,7 @@ let escape_probability ~n ~t =
   let threshold = Adversary.Split_vote.escape_threshold ~n ~t ~thresholds in
   2.0 *. Stats.Tail.majority_success_probability ~n ~threshold
 
-let e2_exponential_variant ~scale =
+let e2_exponential_variant ?(jobs = 1) ~scale () =
   let ns, seed_count =
     match scale with
     | `Full -> ([ 7; 9; 11; 13; 15; 17 ], 200)
@@ -197,7 +197,7 @@ let e2_exponential_variant ~scale =
     (fun n ->
       let spec = e2_spec ~n ~max_windows:400_000 in
       let result =
-        Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+        Ensemble.run_windowed ~jobs ~protocol:(Protocols.Lewko_variant.protocol ())
           ~strategy:(fun _ -> Adversary.Split_vote.windowed ())
           ~spec ~seeds:(seeds_list seed_count) ()
       in
@@ -219,11 +219,11 @@ let e2_exponential_variant ~scale =
   let fit = Stats.Regression.log2_linear (List.rev !points) in
   (table, fit)
 
-let e2_survival ~scale =
+let e2_survival ?(jobs = 1) ~scale () =
   let n, seed_count = match scale with `Full -> (13, 400) | `Quick -> (9, 60) in
   let spec = e2_spec ~n ~max_windows:400_000 in
   let result =
-    Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+    Ensemble.run_windowed ~jobs ~protocol:(Protocols.Lewko_variant.protocol ())
       ~strategy:(fun _ -> Adversary.Split_vote.windowed ())
       ~spec ~seeds:(seeds_list seed_count) ()
   in
@@ -245,7 +245,7 @@ let e2_survival ~scale =
 (* ------------------------------------------------------------------ *)
 (* E3: baselines under balancing schedules.                            *)
 
-let e3_baselines ~scale =
+let e3_baselines ?(jobs = 1) ~scale () =
   let ben_or_ns, bracha_ns, seed_count =
     match scale with
     | `Full -> ([ 5; 7; 9; 11 ], [ 4; 7; 10 ], 80)
@@ -268,7 +268,7 @@ let e3_baselines ~scale =
         stop = `First_decision;
       }
     in
-    let result = Ensemble.run_stepwise ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
+    let result = Ensemble.run_stepwise ~jobs ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
     Stats.Table.add_row table
       [
         S protocol.Dsim.Protocol.name; S model; S strategy_name; I n; I t;
@@ -498,7 +498,7 @@ let e6_theory_constants ~scale =
 (* ------------------------------------------------------------------ *)
 (* E7: reset resilience.                                               *)
 
-let e7_reset_resilience ~scale =
+let e7_reset_resilience ?(jobs = 1) ~scale () =
   let seed_count = match scale with `Full -> 100 | `Quick -> 15 in
   let table =
     Stats.Table.create
@@ -530,7 +530,7 @@ let e7_reset_resilience ~scale =
       List.iter
         (fun (name, strategy) ->
           let result =
-            Ensemble.run_windowed ~protocol:(Protocols.Lewko_variant.protocol ())
+            Ensemble.run_windowed ~jobs ~protocol:(Protocols.Lewko_variant.protocol ())
               ~strategy ~spec ~seeds:(seeds_list seed_count) ()
           in
           let mean_resets = Stats.Summary.mean result.Ensemble.total_resets in
@@ -550,7 +550,7 @@ let e7_reset_resilience ~scale =
 (* ------------------------------------------------------------------ *)
 (* E8: forgetful / fully-communicative class and chain lengths.        *)
 
-let e8_forgetful_class ~scale =
+let e8_forgetful_class ?(jobs = 1) ~scale () =
   let seeds, windows_per_run, chain_ns, chain_seeds =
     match scale with
     | `Full -> ([ 1; 2; 3; 4; 5 ], 25, [ 5; 7; 9; 11 ], 60)
@@ -599,7 +599,7 @@ let e8_forgetful_class ~scale =
         }
       in
       let result =
-        Ensemble.run_stepwise ~protocol:(Protocols.Ben_or.protocol ())
+        Ensemble.run_stepwise ~jobs ~protocol:(Protocols.Ben_or.protocol ())
           ~strategy:(fun _ -> Adversary.Split_vote.stepwise ())
           ~spec ~seeds:(seeds_list chain_seeds) ()
       in
@@ -681,7 +681,7 @@ let e9_committee ~scale =
 (* ------------------------------------------------------------------ *)
 (* E10: ablations — threshold choice and adversary strength.           *)
 
-let e10_ablations ~scale =
+let e10_ablations ?(jobs = 1) ~scale () =
   let seed_count = match scale with `Full -> 150 | `Quick -> 20 in
   let table =
     Stats.Table.create
@@ -701,7 +701,7 @@ let e10_ablations ~scale =
         stop = `All_decided;
       }
     in
-    let result = Ensemble.run_windowed ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
+    let result = Ensemble.run_windowed ~jobs ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
     Stats.Table.add_row table
       [
         S ablation; I n; I t; S setting; I result.Ensemble.runs;
@@ -905,14 +905,13 @@ let e15_sm_consensus ~scale =
 (* ------------------------------------------------------------------ *)
 (* E13: the Attiya-Censor termination tail ([4]).                      *)
 
-let e13_termination_tail ~scale =
+let e13_termination_tail ?(jobs = 1) ~scale () =
   let n, t, seed_count =
     match scale with `Full -> (9, 4, 400) | `Quick -> (7, 3, 60)
   in
   (* Survival of the step count in units of (n - t), the scale at which
      [4] lower-bounds the non-termination probability by 1/c^k. *)
   let unit = n - t in
-  let histogram = Stats.Histogram.create ~bucket_width:unit () in
   let survival_points = ref [] in
   let steps_of seed =
     let inputs = Ensemble.split_inputs ~n seed in
@@ -927,9 +926,17 @@ let e13_termination_tail ~scale =
     in
     outcome.Dsim.Runner.steps
   in
-  List.iter
-    (fun seed -> Stats.Histogram.add histogram (steps_of seed))
-    (seeds_list seed_count);
+  (* Parallelizes through Histogram.merge: one singleton histogram per
+     seed, reduced exactly, so -j does not move a single bucket. *)
+  let histogram =
+    Par_sweep.map_reduce ~jobs ~merge:Stats.Histogram.merge
+      ~init:(Stats.Histogram.empty ())
+      ~f:(fun seed ->
+        let h = Stats.Histogram.create ~bucket_width:unit () in
+        Stats.Histogram.add h (steps_of seed);
+        h)
+      (Array.of_list (seeds_list seed_count))
+  in
   let survival = Stats.Histogram.survival histogram in
   let len = List.length survival in
   let stride = max 1 (len / 18) in
@@ -967,7 +974,7 @@ let e13_termination_tail ~scale =
 (* ------------------------------------------------------------------ *)
 (* E14: reset fragility of the baselines.                              *)
 
-let e14_reset_fragility ~scale =
+let e14_reset_fragility ?(jobs = 1) ~scale () =
   let seed_count, max_windows =
     match scale with `Full -> (80, 3_000) | `Quick -> (10, 600)
   in
@@ -991,7 +998,7 @@ let e14_reset_fragility ~scale =
         stop = `All_decided;
       }
     in
-    let result = Ensemble.run_windowed ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
+    let result = Ensemble.run_windowed ~jobs ~protocol ~strategy ~spec ~seeds:(seeds_list seed_count) () in
     Stats.Table.add_row table
       [
         S name; S strategy_name; I n; I t; I result.Ensemble.runs;
@@ -1023,8 +1030,8 @@ let e14_reset_fragility ~scale =
 
 (* ------------------------------------------------------------------ *)
 
-let e2_with_fit ~scale =
-  let e2_table, e2_fit = e2_exponential_variant ~scale in
+let e2_with_fit ~jobs ~scale =
+  let e2_table, e2_fit = e2_exponential_variant ~jobs ~scale () in
   let fit_note =
     Stats.Table.create ~title:"E2 (fit): log2(mean windows) vs n"
       ~columns:[ "slope (bits/processor)"; "intercept"; "r^2" ]
@@ -1037,34 +1044,36 @@ let e2_with_fit ~scale =
     ];
   (e2_table, fit_note)
 
-let generators : (string * (scale:scale -> Stats.Table.t)) list =
+(* Experiments that sweep seed ensembles take [jobs]; the purely
+   numeric ones ignore it. *)
+let generators : (string * (jobs:int -> scale:scale -> Stats.Table.t)) list =
   [
-    ("E0-lint", e0_trace_lint);
-    ("E1", e1_theorem4_matrix);
-    ("E2", fun ~scale -> fst (e2_with_fit ~scale));
-    ("E2-fit", fun ~scale -> snd (e2_with_fit ~scale));
-    ("E2-survival", e2_survival);
-    ("E3", e3_baselines);
-    ("E4", e4_talagrand);
-    ("E5", e5_interpolation);
-    ("E5b", e5b_zk_sets);
-    ("E6", e6_theory_constants);
-    ("E7", e7_reset_resilience);
-    ("E8", e8_forgetful_class);
-    ("E9", e9_committee);
-    ("E10", e10_ablations);
-    ("E11", e11_synchronous);
-    ("E12", e12_shared_memory);
-    ("E13", e13_termination_tail);
-    ("E14", e14_reset_fragility);
-    ("E15", e15_sm_consensus);
+    ("E0-lint", fun ~jobs ~scale -> e0_trace_lint ~jobs ~scale ());
+    ("E1", fun ~jobs ~scale -> e1_theorem4_matrix ~jobs ~scale ());
+    ("E2", fun ~jobs ~scale -> fst (e2_with_fit ~jobs ~scale));
+    ("E2-fit", fun ~jobs ~scale -> snd (e2_with_fit ~jobs ~scale));
+    ("E2-survival", fun ~jobs ~scale -> e2_survival ~jobs ~scale ());
+    ("E3", fun ~jobs ~scale -> e3_baselines ~jobs ~scale ());
+    ("E4", fun ~jobs:_ ~scale -> e4_talagrand ~scale);
+    ("E5", fun ~jobs:_ ~scale -> e5_interpolation ~scale);
+    ("E5b", fun ~jobs:_ ~scale -> e5b_zk_sets ~scale);
+    ("E6", fun ~jobs:_ ~scale -> e6_theory_constants ~scale);
+    ("E7", fun ~jobs ~scale -> e7_reset_resilience ~jobs ~scale ());
+    ("E8", fun ~jobs ~scale -> e8_forgetful_class ~jobs ~scale ());
+    ("E9", fun ~jobs:_ ~scale -> e9_committee ~scale);
+    ("E10", fun ~jobs ~scale -> e10_ablations ~jobs ~scale ());
+    ("E11", fun ~jobs:_ ~scale -> e11_synchronous ~scale);
+    ("E12", fun ~jobs:_ ~scale -> e12_shared_memory ~scale);
+    ("E13", fun ~jobs ~scale -> e13_termination_tail ~jobs ~scale ());
+    ("E14", fun ~jobs ~scale -> e14_reset_fragility ~jobs ~scale ());
+    ("E15", fun ~jobs:_ ~scale -> e15_sm_consensus ~scale);
   ]
 
-let selected ~scale ~ids =
+let selected ?(jobs = 1) ~scale ~ids () =
   (* E2 and E2-fit come from the same sweep; compute it once when both
      are requested. *)
   let wanted id = ids = [] || List.mem id ids in
-  let e2_pair = lazy (e2_with_fit ~scale) in
+  let e2_pair = lazy (e2_with_fit ~jobs ~scale) in
   List.filter_map
     (fun (id, generate) ->
       if not (wanted id) then None
@@ -1072,10 +1081,10 @@ let selected ~scale ~ids =
         match id with
         | "E2" -> Some (id, fst (Lazy.force e2_pair))
         | "E2-fit" -> Some (id, snd (Lazy.force e2_pair))
-        | _ -> Some (id, generate ~scale))
+        | _ -> Some (id, generate ~jobs ~scale))
     generators
 
-let all ~scale = selected ~scale ~ids:[]
+let all ?jobs ~scale () = selected ?jobs ~scale ~ids:[] ()
 
 let experiment_ids = List.map fst generators
 

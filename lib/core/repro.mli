@@ -4,29 +4,34 @@
 
     [scale] trades fidelity for time: [`Full] is what EXPERIMENTS.md
     records; [`Quick] shrinks seed counts and sweeps for tests and for
-    the bench harness warm-up. *)
+    the bench harness warm-up.
+
+    [jobs] (default 1) spreads each seed sweep over that many domains
+    via {!Par_sweep}; tables are bit-identical for every value (the
+    generators that are purely numeric ignore it). *)
 
 type scale = [ `Quick | `Full ]
 
-val e0_trace_lint : scale:scale -> Stats.Table.t
+val e0_trace_lint : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Runtime trace lint: run the protocol/adversary portfolio with full
     event recording and audit every execution against the engine's
     structural invariants (FIFO channels, causal depths, provenance,
     window discipline, decision quorums).  Every row must be clean. *)
 
-val e1_theorem4_matrix : scale:scale -> Stats.Table.t
+val e1_theorem4_matrix : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Theorem 4: correctness / termination of the variant algorithm
     against the strongly adaptive adversary portfolio. *)
 
-val e2_exponential_variant : scale:scale -> Stats.Table.t * Stats.Regression.fit
+val e2_exponential_variant :
+  ?jobs:int -> scale:scale -> unit -> Stats.Table.t * Stats.Regression.fit
 (** Section 3 remark: windows-to-decision vs [n] under the balancing
     adversary, with the fitted exponent of [log2 E\[windows\]] vs [n]
     and the analytic per-window escape probability for comparison. *)
 
-val e2_survival : scale:scale -> Stats.Table.t
+val e2_survival : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Survival series [P(windows > k)] for one configuration of E2. *)
 
-val e3_baselines : scale:scale -> Stats.Table.t
+val e3_baselines : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Ben-Or (crash) and Bracha (Byzantine thresholds) under balancing
     schedules: steps and message-chain length vs [n]. *)
 
@@ -43,11 +48,11 @@ val e5b_zk_sets : scale:scale -> Stats.Table.t
 val e6_theory_constants : scale:scale -> Stats.Table.t
 (** Theorem 5 constants: [E(n)] and the success-probability bound. *)
 
-val e7_reset_resilience : scale:scale -> Stats.Table.t
+val e7_reset_resilience : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Total resets absorbed vs the per-window budget [t] (Theorem 4's
     failure model). *)
 
-val e8_forgetful_class : scale:scale -> Stats.Table.t
+val e8_forgetful_class : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Definitions 15/16 classification of all protocols plus the
     chain-length growth of Ben-Or under crash balancing (Theorem 17's
     setting). *)
@@ -56,7 +61,7 @@ val e9_committee : scale:scale -> Stats.Table.t
 (** Kapron-et-al. contrast: rounds vs [n] (polylog), error probability
     vs corruption, and the adaptive final-committee attack. *)
 
-val e10_ablations : scale:scale -> Stats.Table.t
+val e10_ablations : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Design-choice ablations DESIGN.md calls out: the Theorem 4
     threshold instantiation (default vs relaxed) and adversary strength
     (the exponential slowdown requires a genuinely adversarial
@@ -72,13 +77,13 @@ val e12_shared_memory : scale:scale -> Stats.Table.t
     counter-race shared coin's total step complexity scales as [n^2]
     and its agreement survives adversarial scheduling. *)
 
-val e13_termination_tail : scale:scale -> Stats.Table.t
+val e13_termination_tail : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Related-work reproduction [4] (Attiya & Censor): the probability
     that Ben-Or has not terminated after [k (n - t)] steps under the
     balancing schedule decays geometrically in [k] — their lower bound
     says it cannot decay faster than [1/c^k]. *)
 
-val e14_reset_fragility : scale:scale -> Stats.Table.t
+val e14_reset_fragility : ?jobs:int -> scale:scale -> unit -> Stats.Table.t
 (** Why the variant's reset-recovery procedure exists: under reset
     storms, Ben-Or and Bracha (which can only restart from their
     inputs) degrade or stall, while the variant terminates correctly. *)
@@ -89,10 +94,11 @@ val e15_sm_consensus : scale:scale -> Stats.Table.t
     constant expected rounds and [Theta(n^2)]-dominated total work,
     with agreement and validity intact under adversarial scheduling. *)
 
-val all : scale:scale -> (string * Stats.Table.t) list
+val all : ?jobs:int -> scale:scale -> unit -> (string * Stats.Table.t) list
 (** Every experiment, in order, with its DESIGN.md identifier. *)
 
-val selected : scale:scale -> ids:string list -> (string * Stats.Table.t) list
+val selected :
+  ?jobs:int -> scale:scale -> ids:string list -> unit -> (string * Stats.Table.t) list
 (** Only the requested experiment ids (all of them when [ids] is
     empty); unrequested experiments are not computed. *)
 

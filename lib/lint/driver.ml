@@ -6,6 +6,7 @@ type report = {
 
 let default_dirs = [ "lib"; "bin"; "bench"; "examples" ]
 let default_hash_allowlist = [ "lib/lint/" ]
+let default_domain_allowlist = [ "lib/core/par_sweep"; "lib/lint/" ]
 
 let is_ml_file name =
   String.length name > 3 && String.sub name (String.length name - 3) 3 = ".ml"
@@ -28,8 +29,9 @@ let rec walk root rel acc =
   else if is_ml_file rel then rel :: acc
   else acc
 
-let scan ?(hash_allowlist = default_hash_allowlist) ?(dirs = default_dirs) ~root ()
-    =
+let scan ?(hash_allowlist = default_hash_allowlist)
+    ?(domain_allowlist = default_domain_allowlist) ?(dirs = default_dirs) ~root
+    () =
   if not (Sys.file_exists root && Sys.is_directory root) then
     (* A typo'd root must not read as a clean scan. *)
     {
@@ -45,7 +47,8 @@ let scan ?(hash_allowlist = default_hash_allowlist) ?(dirs = default_dirs) ~root
     List.fold_left
       (fun (diags, errs) rel ->
         match
-          Static_lint.lint_file ~hash_allowlist (Filename.concat root rel)
+          Static_lint.lint_file ~hash_allowlist ~domain_allowlist
+            (Filename.concat root rel)
         with
         | Ok ds ->
             (* Report root-relative paths regardless of where we ran. *)

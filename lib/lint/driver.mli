@@ -14,8 +14,18 @@ val default_hash_allowlist : string list
 (** Path fragments for which R2 is waived (the linter's own rule tables
     and this module's test fixtures name [Hashtbl.hash] on purpose). *)
 
+val default_domain_allowlist : string list
+(** Path fragments for which R6 is waived: [lib/core/par_sweep] — the
+    one sanctioned home of [Domain]/[Atomic] — plus the linter's own
+    rule tables, which spell the banned names out. *)
+
 val scan :
-  ?hash_allowlist:string list -> ?dirs:string list -> root:string -> unit -> report
+  ?hash_allowlist:string list ->
+  ?domain_allowlist:string list ->
+  ?dirs:string list ->
+  root:string ->
+  unit ->
+  report
 (** Walk [dirs] under [root] (skipping [_build] and dot-directories),
     lint every [.ml] file, and merge the results.  Paths in the report
     are relative to [root]. *)

@@ -1,6 +1,6 @@
-type t = R1 | R2 | R3 | R4 | R5
+type t = R1 | R2 | R3 | R4 | R5 | R6
 
-let all = [ R1; R2; R3; R4; R5 ]
+let all = [ R1; R2; R3; R4; R5; R6 ]
 
 let id = function
   | R1 -> "R1"
@@ -8,6 +8,7 @@ let id = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
 
 let of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -16,6 +17,7 @@ let of_id s =
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
   | _ -> None
 
 let title = function
@@ -24,6 +26,7 @@ let title = function
   | R3 -> "polymorphic compare on protocol data"
   | R4 -> "exact float-literal equality"
   | R5 -> "printing from library code"
+  | R6 -> "multicore primitive outside the parallel sweep engine"
 
 let describe = function
   | R1 ->
@@ -52,6 +55,14 @@ let describe = function
       "Library code must not print: all observable output goes through \
        Dsim.Obs / Dsim.Trace_export so executions stay silent, replayable \
        and comparable.  Printing belongs to bin/, bench/ and examples/."
+  | R6 ->
+      "Domain, Atomic, Thread and friends introduce scheduling \
+       nondeterminism the moment shared state is involved, which is \
+       exactly what the bit-identical determinism contract forbids.  All \
+       parallelism must route through Par_sweep's map_reduce, whose merge \
+       discipline keeps results independent of scheduling; only \
+       lib/core/par_sweep.ml (the linter's domain allowlist) may touch \
+       the primitives directly."
 
 type scope = {
   top : [ `Lib | `Bin | `Bench | `Examples | `Other ];
@@ -80,7 +91,7 @@ let scope_of_path path =
 let applies rule scope =
   match rule with
   | R1 | R5 -> scope.top = `Lib
-  | R2 -> true
+  | R2 | R6 -> true
   | R3 -> (
       scope.top = `Lib
       &&

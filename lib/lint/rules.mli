@@ -4,17 +4,18 @@
     function of its seed; these rules ban the OCaml constructs that
     silently break that property (ambient randomness, version-dependent
     hashing, polymorphic structural comparison on protocol data, exact
-    float equality, and stray printing that bypasses the trace). *)
+    float equality, stray printing that bypasses the trace, and raw
+    multicore primitives outside the sanctioned sweep engine). *)
 
-type t = R1 | R2 | R3 | R4 | R5
+type t = R1 | R2 | R3 | R4 | R5 | R6
 
 val all : t list
 
 val id : t -> string
-(** "R1" .. "R5". *)
+(** "R1" .. "R6". *)
 
 val of_id : string -> t option
-(** Case-insensitive parse of "R1" .. "R5". *)
+(** Case-insensitive parse of "R1" .. "R6". *)
 
 val title : t -> string
 (** One-line rule name, e.g. "ambient nondeterminism source". *)
@@ -34,6 +35,6 @@ val scope_of_path : string -> scope
 
 val applies : t -> scope -> bool
 (** Whether the rule is checked at all for files in this scope:
-    R1 and R5 in [lib/] only; R2 everywhere; R3 in [lib/dsim],
+    R1 and R5 in [lib/] only; R2 and R6 everywhere; R3 in [lib/dsim],
     [lib/protocols], [lib/adversary]; R4 in [lib/stats] and
     [lib/lowerbound]. *)

@@ -120,6 +120,12 @@ let r2_banned name =
     [ "Hashtbl.hash"; "Stdlib.Hashtbl.hash"; "Hashtbl.seeded_hash";
       "Stdlib.Hashtbl.seeded_hash" ]
 
+let r6_banned name =
+  List.exists
+    (fun m -> starts_with (m ^ ".") name)
+    [ "Domain"; "Stdlib.Domain"; "Atomic"; "Stdlib.Atomic"; "Thread";
+      "Mutex"; "Condition"; "Semaphore" ]
+
 let r5_banned name =
   List.mem name
     [ "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
@@ -128,12 +134,14 @@ let r5_banned name =
       "prerr_endline"; "prerr_newline"; "Stdlib.print_string";
       "Stdlib.print_endline" ]
 
-let lint_source ?(hash_allowlist = []) ~path source =
+let lint_source ?(hash_allowlist = []) ?(domain_allowlist = []) ~path source =
   let scope = Rules.scope_of_path path in
   let suppressions = suppressions_of_source source in
-  let hash_allowed =
-    List.exists (fun fragment -> find_substring path fragment 0 <> None) hash_allowlist
+  let path_allowed allowlist =
+    List.exists (fun fragment -> find_substring path fragment 0 <> None) allowlist
   in
+  let hash_allowed = path_allowed hash_allowlist in
+  let domain_allowed = path_allowed domain_allowlist in
   let diagnostics = ref [] in
   let report loc rule message =
     let start = loc.Location.loc_start in
@@ -142,6 +150,7 @@ let lint_source ?(hash_allowlist = []) ~path source =
       Rules.applies rule scope
       && not (suppressed suppressions ~line rule)
       && not (rule = Rules.R2 && hash_allowed)
+      && not (rule = Rules.R6 && domain_allowed)
     then
       diagnostics :=
         { path; line; col = start.Lexing.pos_cnum - start.Lexing.pos_bol; rule; message }
@@ -160,7 +169,12 @@ let lint_source ?(hash_allowlist = []) ~path source =
             (Printf.sprintf "`%s` is version-dependent; use a stable hash (e.g. FNV-1a)" name);
         if r5_banned name then
           report loc Rules.R5
-            (Printf.sprintf "`%s` prints from library code; route output through Dsim.Obs / Dsim.Trace_export" name)
+            (Printf.sprintf "`%s` prints from library code; route output through Dsim.Obs / Dsim.Trace_export" name);
+        if r6_banned name then
+          report loc Rules.R6
+            (Printf.sprintf
+               "`%s` is a raw multicore primitive; route parallelism through Par_sweep.map_reduce"
+               name)
   in
   let check_apply expr =
     match expr.Parsetree.pexp_desc with
@@ -215,7 +229,7 @@ let lint_source ?(hash_allowlist = []) ~path source =
       in
       Error (Printf.sprintf "%s: parse error: %s" path (String.trim detail))
 
-let lint_file ?hash_allowlist path =
+let lint_file ?hash_allowlist ?domain_allowlist path =
   match In_channel.with_open_bin path In_channel.input_all with
-  | source -> lint_source ?hash_allowlist ~path source
+  | source -> lint_source ?hash_allowlist ?domain_allowlist ~path source
   | exception Sys_error message -> Error message

@@ -21,12 +21,20 @@ val compare_diagnostic : diagnostic -> diagnostic -> int
 (** Order by (path, line, col, rule). *)
 
 val lint_source :
-  ?hash_allowlist:string list -> path:string -> string -> (diagnostic list, string) result
+  ?hash_allowlist:string list ->
+  ?domain_allowlist:string list ->
+  path:string ->
+  string ->
+  (diagnostic list, string) result
 (** Lint one compilation unit given as a string.  [path] determines the
     rule scope (see {!Rules.scope_of_path}) and is echoed in
     diagnostics.  [hash_allowlist] entries are path substrings for
-    which rule R2 is waived.  [Error message] on a parse failure. *)
+    which rule R2 is waived; [domain_allowlist] likewise waives R6 (the
+    sanctioned sweep engine).  [Error message] on a parse failure. *)
 
 val lint_file :
-  ?hash_allowlist:string list -> string -> (diagnostic list, string) result
+  ?hash_allowlist:string list ->
+  ?domain_allowlist:string list ->
+  string ->
+  (diagnostic list, string) result
 (** Read and lint a file from disk. *)

@@ -17,10 +17,46 @@ let add t x =
 
 let count t = t.count
 let bucket_count t = Hashtbl.length t.buckets
+let bucket_width t = t.bucket_width
 
 let sorted_buckets t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.buckets []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let buckets = sorted_buckets
+
+let empty () = create ()
+
+let copy t =
+  { bucket_width = t.bucket_width; buckets = Hashtbl.copy t.buckets; count = t.count }
+
+(* An empty side is an identity regardless of its bucket width, so
+   [empty ()] merges cleanly with histograms of any width; two
+   non-empty histograms must agree on the width. *)
+let merge a b =
+  if a.count = 0 then copy b
+  else if b.count = 0 then copy a
+  else if a.bucket_width <> b.bucket_width then
+    invalid_arg "Histogram.merge: bucket_width mismatch"
+  else begin
+    let m = copy a in
+    Hashtbl.iter
+      (fun k v ->
+        let current = Option.value ~default:0 (Hashtbl.find_opt m.buckets k) in
+        Hashtbl.replace m.buckets k (current + v))
+      b.buckets;
+    m.count <- a.count + b.count;
+    m
+  end
+
+(* Observational equality: bucket contents, not hash-table layout.
+   Empty histograms are equal whatever their configured width. *)
+let equal a b =
+  Int.equal a.count b.count
+  && (a.count = 0 || Int.equal a.bucket_width b.bucket_width)
+  && List.equal
+       (fun (k1, v1) (k2, v2) -> Int.equal k1 k2 && Int.equal v1 v2)
+       (sorted_buckets a) (sorted_buckets b)
 
 let density t =
   let n = float_of_int t.count in

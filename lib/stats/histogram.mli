@@ -11,8 +11,30 @@ val create : ?bucket_width:int -> unit -> t
 val add : t -> int -> unit
 (** Record one observation; negative values are rejected. *)
 
+val empty : unit -> t
+(** A fresh empty histogram.  As the left or right operand of {!merge}
+    it is an identity whatever the other side's bucket width. *)
+
+val merge : t -> t -> t
+(** A fresh histogram combining both operands' buckets; neither input
+    is mutated.  Commutative and associative with {!empty} as identity
+    (bucket counts are integers, so this is exact — the algebra the
+    parallel sweep engine reduces with).  Raises [Invalid_argument]
+    when two non-empty histograms disagree on [bucket_width]; an empty
+    operand adopts the other side's width. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Observational equality: same count, same non-empty buckets, same
+    width (widths are ignored when both are empty). *)
+
 val count : t -> int
 val bucket_count : t -> int
+val bucket_width : t -> int
+
+val buckets : t -> (int * int) list
+(** [(bucket_start, occupancy)] pairs for non-empty buckets, ascending. *)
 
 val density : t -> (int * float) list
 (** [(bucket_start, fraction)] pairs for non-empty buckets, ascending. *)

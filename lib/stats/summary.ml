@@ -61,8 +61,102 @@ let merge a b =
       total = a.total +. b.total;
     }
 
+let equal a b =
+  Int.equal a.count b.count
+  && Float.equal a.mean b.mean
+  && Float.equal a.m2 b.m2
+  && Float.equal a.min_v b.min_v
+  && Float.equal a.max_v b.max_v
+  && Float.equal a.total b.total
+
 let pp ppf t =
   if t.count = 0 then Format.fprintf ppf "(empty)"
   else
     Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.count (mean t)
       (stddev t) t.min_v t.max_v
+
+(* The Welford/Chan float path above is numerically gentle but its
+   merge is only approximately associative: parallel reductions that
+   must be bit-identical for every chunking go through [Exact]
+   instead, which accumulates integer moments (closed under 63-bit
+   arithmetic for every sweep this harness runs) and converts to a
+   summary once, at the end. *)
+module Exact = struct
+  type summary = t
+
+  type t = {
+    count : int;
+    total : int;
+    sum_sq : int;
+    min_v : int;
+    max_v : int;
+  }
+
+  let empty = { count = 0; total = 0; sum_sq = 0; min_v = max_int; max_v = min_int }
+
+  let add t x =
+    {
+      count = t.count + 1;
+      total = t.total + x;
+      sum_sq = t.sum_sq + (x * x);
+      min_v = Int.min t.min_v x;
+      max_v = Int.max t.max_v x;
+    }
+
+  let of_int_list xs = List.fold_left add empty xs
+
+  let merge a b =
+    if a.count = 0 then b
+    else if b.count = 0 then a
+    else
+      {
+        count = a.count + b.count;
+        total = a.total + b.total;
+        sum_sq = a.sum_sq + b.sum_sq;
+        min_v = Int.min a.min_v b.min_v;
+        max_v = Int.max a.max_v b.max_v;
+      }
+
+  let count t = t.count
+  let total t = t.total
+
+  let equal a b =
+    Int.equal a.count b.count
+    && Int.equal a.total b.total
+    && Int.equal a.sum_sq b.sum_sq
+    && Int.equal a.min_v b.min_v
+    && Int.equal a.max_v b.max_v
+
+  let to_summary t : summary =
+    if t.count = 0 then
+      {
+        count = 0;
+        mean = 0.0;
+        m2 = 0.0;
+        min_v = infinity;
+        max_v = neg_infinity;
+        total = 0.0;
+      }
+    else
+      let c = float_of_int t.count in
+      let total = float_of_int t.total in
+      let mean = total /. c in
+      (* sum of squared deviations from exact integer moments; clamped
+         because the subtraction can land a few ulps below zero when
+         the spread is tiny relative to the mean. *)
+      let m2 = Float.max 0.0 (float_of_int t.sum_sq -. (total *. total /. c)) in
+      {
+        count = t.count;
+        mean;
+        m2;
+        min_v = float_of_int t.min_v;
+        max_v = float_of_int t.max_v;
+        total;
+      }
+
+  let pp ppf t =
+    if t.count = 0 then Format.fprintf ppf "(empty)"
+    else
+      Format.fprintf ppf "n=%d total=%d sumsq=%d min=%d max=%d" t.count t.total
+        t.sum_sq t.min_v t.max_v
+end

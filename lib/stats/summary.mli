@@ -37,6 +37,55 @@ val ci95_half_width : t -> float
     mean ([1.96 * std_error]). *)
 
 val merge : t -> t -> t
-(** Combine two summaries as if all observations were folded into one. *)
+(** Combine two summaries as if all observations were folded into one.
+    Floating-point: exact on counts/min/max/total, approximate (Chan et
+    al.) on mean and variance, so it is commutative and associative
+    only up to rounding.  Reductions that must be bit-identical for
+    every chunking use {!Exact}. *)
+
+val equal : t -> t -> bool
+(** Bitwise equality of the accumulated state (counts and the exact
+    float representations; NaNs compare equal to themselves). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Exactly mergeable summaries over integer observations.
+
+    Accumulates raw integer moments (count, total, sum of squares,
+    min, max), so {!Exact.merge} is genuinely commutative and
+    associative and {!Exact.empty} a genuine identity: merging the
+    per-chunk summaries of {i any} chunking of an observation sequence
+    yields bit-identical state.  This is the algebra the parallel
+    sweep engine ([Par_sweep]) reduces with.  Integer moments stay
+    exact as long as [sum x_i^2] fits in 63 bits — comfortably true
+    for every windows/steps/resets sweep in this harness. *)
+module Exact : sig
+  type summary := t
+
+  type t = {
+    count : int;
+    total : int;
+    sum_sq : int;
+    min_v : int;  (** [max_int] when empty. *)
+    max_v : int;  (** [min_int] when empty. *)
+  }
+
+  val empty : t
+  val add : t -> int -> t
+  val of_int_list : int list -> t
+
+  val merge : t -> t -> t
+  (** Commutative, associative, with {!empty} as identity — exactly. *)
+
+  val count : t -> int
+  val total : t -> int
+  val equal : t -> t -> bool
+
+  val to_summary : t -> summary
+  (** Deterministic conversion: mean is [total/count], the second
+      moment comes from the textbook [sum_sq - total^2/count] formula
+      (clamped at 0).  Accurate here because the inputs are exact
+      integers. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# The full CI gate: build everything, run the test suite (which
+# includes both lint layers), then prove the parallel sweep engine's
+# determinism contract end to end — the quick experiment tables at
+# -j 2 must be byte-identical to -j 1.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+
+echo "check: differential -j smoke (experiments --quick)"
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+dune exec bin/experiments.exe -- --quick -j 1 -m > "$out_dir/j1.md"
+dune exec bin/experiments.exe -- --quick -j 2 -m > "$out_dir/j2.md"
+if cmp -s "$out_dir/j1.md" "$out_dir/j2.md"; then
+  echo "check: -j 1 and -j 2 outputs are byte-identical"
+else
+  echo "check: FAIL — parallel sweep output differs from sequential" >&2
+  diff "$out_dir/j1.md" "$out_dir/j2.md" >&2 || true
+  exit 1
+fi
+echo "check: all green"

@@ -8,8 +8,8 @@ open Lintkit
 (* ------------------------------------------------------------------ *)
 (* Layer 1: static linter.                                             *)
 
-let diags ?hash_allowlist ~path source =
-  match Static_lint.lint_source ?hash_allowlist ~path source with
+let diags ?hash_allowlist ?domain_allowlist ~path source =
+  match Static_lint.lint_source ?hash_allowlist ?domain_allowlist ~path source with
   | Ok ds -> ds
   | Error message -> Alcotest.failf "unexpected parse error: %s" message
 
@@ -86,6 +86,29 @@ let test_r5_printing () =
   check_rules "formatter-directed output is fine" []
     (diags ~path:"lib/dsim/foo.ml"
        "let pp ppf n = Format.fprintf ppf \"%d\" n")
+
+let test_r6_multicore_primitives () =
+  let src = "let go f = Domain.join (Domain.spawn f)" in
+  check_rules "Domain flagged in lib" [ "R6"; "R6" ]
+    (diags ~path:"lib/dsim/foo.ml" src);
+  check_rules "flagged in bin too (R6 is global)" [ "R6"; "R6" ]
+    (diags ~path:"bin/foo.ml" src);
+  check_rules "Atomic flagged" [ "R6" ]
+    (diags ~path:"lib/core/foo.ml" "let c = Atomic.make 0");
+  check_rules "Mutex flagged" [ "R6" ]
+    (diags ~path:"lib/stats/foo.ml" "let m = Mutex.create ()");
+  check_rules "allowlist waives the sweep engine" []
+    (diags
+       ~domain_allowlist:[ "lib/core/par_sweep" ]
+       ~path:"lib/core/par_sweep.ml" src);
+  check_rules "allowlist is path-specific" [ "R6"; "R6" ]
+    (diags
+       ~domain_allowlist:[ "lib/core/par_sweep" ]
+       ~path:"lib/core/ensemble.ml" src);
+  (* A module merely named like a primitive must not trip the prefix
+     match. *)
+  check_rules "Domainlike module is fine" []
+    (diags ~path:"lib/dsim/foo.ml" "let x = Domains.f 1")
 
 let test_suppression () =
   check_rules "same-line suppression" []
@@ -375,6 +398,7 @@ let suite =
     Alcotest.test_case "R3 polymorphic compare" `Quick test_r3_polymorphic_compare;
     Alcotest.test_case "R4 float equality" `Quick test_r4_float_equality;
     Alcotest.test_case "R5 printing" `Quick test_r5_printing;
+    Alcotest.test_case "R6 multicore primitives" `Quick test_r6_multicore_primitives;
     Alcotest.test_case "suppression comments" `Quick test_suppression;
     Alcotest.test_case "parse errors reported" `Quick test_parse_error;
     Alcotest.test_case "rule scoping" `Quick test_scopes;

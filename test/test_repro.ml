@@ -22,7 +22,7 @@ let test_e5b_zk_table () =
   Alcotest.(check bool) "all probes pass" false (contains rendered "| no ")
 
 let test_e2_fit_is_exponential () =
-  let _table, fit = Agreement.Repro.e2_exponential_variant ~scale:`Quick in
+  let _table, fit = Agreement.Repro.e2_exponential_variant ~scale:`Quick () in
   (* The slope is bits per processor; the paper's effect is a genuine
      exponential, anything clearly positive and well-fitted passes. *)
   Alcotest.(check bool) "positive slope" true (fit.Stats.Regression.slope > 0.3);
