@@ -1,36 +1,116 @@
 (* Determinism lint driver.
 
-     lint [--root DIR] [--dir lib --dir bin ...] [--format human|json]
-     lint --explain R3
+     lint [--root DIR] [--dir lib --dir bin ...] [--format human|json|sarif]
+     lint --typed [--root DIR] [--baseline FILE]
+     lint --check FILE          # both layers on one standalone source
+     lint --explain R8
 
-   Scans every .ml under the selected trees, reports rule violations
-   with file:line:col positions, and exits 1 when any are found (2 on
-   parse/read errors), so it can gate CI via `dune build @lint`. *)
+   Layer 1 (default) parses every .ml under the selected trees and
+   checks the syntactic rules R1-R6.  Layer 2 (--typed) reads the
+   *.cmt typed trees of the built project and checks R7-R10; it
+   requires `dune build` to have run.  Exit codes: 0 clean, 1 rule
+   violations, 2 read/parse/load errors — so either layer can gate CI
+   via `dune build @lint` / `@lint-typed`. *)
 
 open Cmdliner
 
-let run root dirs format explain =
+let render format report =
+  match format with
+  | `Json -> Lintkit.Driver.render_json Format.std_formatter report
+  | `Sarif -> Lintkit.Driver.render_sarif Format.std_formatter report
+  | `Baseline -> Lintkit.Driver.render_baseline Format.std_formatter report
+  | `Human -> Lintkit.Driver.render_human Format.std_formatter report
+
+let exit_code (report : Lintkit.Driver.report) =
+  if report.errors <> [] then 2
+  else if report.diagnostics <> [] then 1
+  else 0
+
+let with_baseline baseline report =
+  match baseline with
+  | None -> Ok report
+  | Some file -> (
+      match Lintkit.Driver.read_baseline file with
+      | Error e -> Error (Printf.sprintf "baseline %s: %s" file e)
+      | Ok entries ->
+          let report, waived = Lintkit.Driver.apply_baseline entries report in
+          if waived > 0 then
+            Format.eprintf "lint: %d finding%s waived by baseline %s@." waived
+              (if waived = 1 then "" else "s")
+              file;
+          Ok report)
+
+(* Both layers on a single standalone source file: the syntactic pass,
+   then an in-memory typecheck for R7-R10.  Used by fixtures and the
+   check.sh exit-code matrix; no cmt files needed. *)
+let check_file format file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error e ->
+      Format.eprintf "lint: %s@." e;
+      2
+  | source ->
+      let static =
+        match Lintkit.Static_lint.lint_source ~path:file source with
+        | Ok ds -> Ok ds
+        | Error e -> Error e
+      in
+      let typed = Lintkit.Typed_lint.check_source ~path:file source in
+      let diagnostics, errors =
+        List.fold_left
+          (fun (ds, es) -> function
+            | Ok d -> (ds @ d, es)
+            | Error e -> (ds, es @ [ e ]))
+          ([], []) [ static; typed ]
+      in
+      let report =
+        {
+          Lintkit.Driver.diagnostics =
+            List.sort Lintkit.Static_lint.compare_diagnostic diagnostics;
+          errors;
+          files_scanned = 1;
+        }
+      in
+      render format report;
+      exit_code report
+
+let run root dirs format explain typed baseline check =
   match explain with
   | Some id -> (
       match Lintkit.Rules.of_id id with
       | Some rule ->
-          Format.printf "@[<v>%s — %s@,@,%s@]@."
+          Format.printf "@[<v>%s — %s (%s layer)@,@,%s@]@."
             (Lintkit.Rules.id rule)
             (Lintkit.Rules.title rule)
+            (match Lintkit.Rules.layer rule with
+            | `Static -> "syntactic"
+            | `Typed -> "typed")
             (Lintkit.Rules.describe rule);
           0
       | None ->
-          Format.eprintf "unknown rule %S (expected R1..R6)@." id;
+          Format.eprintf "unknown rule %S (expected R1..R10)@." id;
           2)
-  | None ->
-      let dirs = if dirs = [] then Lintkit.Driver.default_dirs else dirs in
-      let report = Lintkit.Driver.scan ~dirs ~root () in
-      (match format with
-      | `Json -> Lintkit.Driver.render_json Format.std_formatter report
-      | `Human -> Lintkit.Driver.render_human Format.std_formatter report);
-      if report.Lintkit.Driver.errors <> [] then 2
-      else if report.Lintkit.Driver.diagnostics <> [] then 1
-      else 0
+  | None -> (
+      match check with
+      | Some file -> check_file format file
+      | None ->
+          let report =
+            if typed then
+              Lintkit.Driver.scan_typed
+                ~dirs:(if dirs = [] then [ "lib" ] else dirs)
+                ~root ()
+            else
+              let dirs =
+                if dirs = [] then Lintkit.Driver.default_dirs else dirs
+              in
+              Lintkit.Driver.scan ~dirs ~root ()
+          in
+          (match with_baseline baseline report with
+          | Error e ->
+              Format.eprintf "lint: %s@." e;
+              2
+          | Ok report ->
+              render format report;
+              exit_code report))
 
 let root =
   Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR"
@@ -38,19 +118,48 @@ let root =
 
 let dirs =
   Arg.(value & opt_all string [] & info [ "dir" ] ~docv:"DIR"
-         ~doc:"Subtree to scan (repeatable; defaults to lib bin bench examples).")
+         ~doc:"Subtree to scan (repeatable; defaults to lib bin bench examples, \
+               or lib for --typed).")
 
 let format =
   Arg.(value
-       & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
-       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: human or json.")
+       & opt
+           (enum
+              [
+                ("human", `Human);
+                ("json", `Json);
+                ("sarif", `Sarif);
+                ("baseline", `Baseline);
+              ])
+           `Human
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: human, json, sarif (2.1.0), or baseline \
+                 (RULE<TAB>PATH<TAB>MESSAGE lines suitable for --baseline).")
 
 let explain =
   Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"RULE"
-         ~doc:"Print the rationale for one rule (R1..R6) and exit.")
+         ~doc:"Print the rationale for one rule (R1..R10) and exit.")
+
+let typed =
+  Arg.(value & flag & info [ "typed" ]
+         ~doc:"Run the typed layer (R7..R10) over the *.cmt trees of the \
+               built project instead of the syntactic layer. Requires a \
+               prior $(b,dune build).")
+
+let baseline =
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
+         ~doc:"Waive findings listed in FILE (RULE<TAB>PATH<TAB>MESSAGE \
+               lines, '#' comments). Seed one by redirecting \
+               $(b,--format baseline) output to FILE.")
+
+let check =
+  Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE"
+         ~doc:"Lint one standalone source file with both layers (the typed \
+               rules via an in-memory typecheck; no cmt files needed).")
 
 let cmd =
-  let doc = "static determinism linter for the agreement reproduction" in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ root $ dirs $ format $ explain)
+  let doc = "determinism linter (syntactic + typed) for the agreement reproduction" in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ root $ dirs $ format $ explain $ typed $ baseline $ check)
 
 let () = exit (Cmd.eval' cmd)

@@ -57,7 +57,7 @@ let before_decision () =
         else
           Array.to_list (Dsim.Engine.observations config)
           |> List.filter (fun o ->
-                 o.Dsim.Obs.output = None
+                 Option.is_none o.Dsim.Obs.output
                  && not (Dsim.Engine.crashed config o.Dsim.Obs.id))
           |> List.sort (fun a b -> Int.compare b.Dsim.Obs.round a.Dsim.Obs.round)
           |> (function [] -> [] | best :: _ -> [ Dsim.Step.Crash best.Dsim.Obs.id ])

@@ -14,7 +14,12 @@ let estimate_decision_probability config window ~samples ~horizon rng =
   let hits = ref 0 in
   for _ = 1 to samples do
     let fork = Dsim.Engine.copy config in
-    (* Fresh coins: the adversary cannot see the future randomness. *)
+    (* Fresh coins: the adversary cannot see the future randomness.
+       Deriving from a stream that is also drawn from is normally an R9
+       violation, but here the schedule-dependence is the point: each
+       Monte-Carlo fork must get coins the adversary could not predict,
+       and pinned regression values depend on this exact sequence. *)
+    (* lint: allow R9 *)
     Dsim.Engine.reseed fork (Prng.Stream.derive rng (Prng.Stream.bits rng));
     Dsim.Engine.apply_window fork window;
     let continuation = Split_vote.windowed () in
@@ -22,7 +27,7 @@ let estimate_decision_probability config window ~samples ~horizon rng =
       Dsim.Runner.run_windows fork ~strategy:continuation ~max_windows:horizon
         ~stop:`First_decision
     in
-    if outcome.Dsim.Runner.decided <> [] then incr hits
+    if not (List.is_empty outcome.Dsim.Runner.decided) then incr hits
   done;
   float_of_int !hits /. float_of_int samples
 

@@ -17,7 +17,7 @@ let target_undecided () =
     let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
     let candidates =
       Array.to_list (Dsim.Engine.observations config)
-      |> List.filter (fun o -> o.Dsim.Obs.output = None)
+      |> List.filter (fun o -> Option.is_none o.Dsim.Obs.output)
       (* Highest round first: erase the most progress. *)
       |> List.sort (fun a b -> Int.compare b.Dsim.Obs.round a.Dsim.Obs.round)
     in

@@ -33,7 +33,15 @@ val map_reduce :
     [merge (... (merge init (f items.(0))) ...) (f items.(n-1))] —
     i.e. the in-order left fold — evaluating the [f items.(i)] on up to
     [jobs] domains (default 1; capped by the item count).  With
-    [jobs <= 1] no domain is spawned and the fold runs inline.
+    [jobs <= 1] no domain is spawned and the fold runs inline; the same
+    sequential fast path is taken whenever
+    [Domain.recommended_domain_count () = 1] — on a single-core host
+    extra domains are pure spawn/join overhead, and the result is
+    byte-identical by the determinism contract anyway.
 
     If some [f items.(i)] raises, the first exception in index order is
     re-raised on the calling domain after all workers have joined. *)
+
+val spawned_domains : unit -> int
+(** Cumulative count of domains this module has spawned since program
+    start (test hook for the fast-path guarantees above). *)

@@ -97,10 +97,10 @@ let decided_values t =
   collect (t.n - 1) []
 
 let all_decided t =
-  let alive_undecided p = (not t.crashed.(p)) && output t p = None in
+  let alive_undecided p = (not t.crashed.(p)) && Option.is_none (output t p) in
   not (Array.exists alive_undecided (Array.init t.n (fun i -> i)))
 
-let some_decided t = decided_values t <> []
+let some_decided t = not (List.is_empty (decided_values t))
 
 let decision_conflict t =
   let values = List.map snd (decided_values t) in
@@ -132,7 +132,7 @@ let do_send t p =
     (* A sending step that actually emits messages is a "sending event"
        in the sense of Definition 15: it completes the response to the
        deliveries accumulated so far. *)
-    if messages <> [] then t.recent_deliveries.(p) <- [];
+    if not (List.is_empty messages) then t.recent_deliveries.(p) <- [];
     List.iter
       (fun (dst, payload) ->
         if dst < 0 || dst >= t.n then invalid_arg "Engine: protocol sent out of range";

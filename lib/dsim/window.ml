@@ -1,6 +1,6 @@
 type t = { receive_sets : int list array; resets : int list }
 
-let normalize xs = List.sort_uniq compare xs
+let normalize xs = List.sort_uniq Int.compare xs
 
 let make ~receive_sets ~resets =
   { receive_sets = Array.map normalize receive_sets; resets = normalize resets }

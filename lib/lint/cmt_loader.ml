@@ -1,0 +1,140 @@
+type unit_info = {
+  modname : string;
+  path : string;
+  structure : Typedtree.structure;
+  source : string option;
+}
+
+type load = {
+  units : unit_info list;
+  load_errors : string list;
+}
+
+(* "Dsim__Engine" -> "Engine"; dune's module mangling for wrapped
+   libraries puts the library name before a double underscore. *)
+let normalize_modname name =
+  match Static_lint.find_substring name "__" 0 with
+  | None -> name
+  | Some _ ->
+      let n = String.length name in
+      let rec last_sep i best =
+        if i + 2 > n then best
+        else
+          match Static_lint.find_substring name "__" i with
+          | Some at -> last_sep (at + 2) (Some at)
+          | None -> best
+      in
+      (match last_sep 0 None with
+      | Some at when at + 2 < n -> String.sub name (at + 2) (n - at - 2)
+      | _ -> name)
+
+(* Root-relative source path: keep from the first recognized top-level
+   directory, so "/builds/x/_build/default/lib/dsim/engine.ml" and
+   "lib/dsim/engine.ml" normalize identically. *)
+let normalize_source_path p =
+  let parts =
+    String.split_on_char '/' p |> List.filter (fun s -> s <> "" && s <> ".")
+  in
+  let rec from_top = function
+    | [] -> None
+    | ("lib" | "bin" | "bench" | "examples" | "test") :: _ as rest ->
+        Some (String.concat "/" rest)
+    | _ :: rest -> from_top rest
+  in
+  from_top parts
+
+let is_cmt name =
+  String.length name > 4 && String.sub name (String.length name - 4) 4 = ".cmt"
+
+(* Collect every *.cmt below [dir] (the .objs directories dune hides
+   under dot-names are exactly what we are after, so dotfiles are NOT
+   skipped here, unlike the source walker). *)
+let rec walk_cmts dir acc =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+  else begin
+    let entries = Sys.readdir dir in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let full = Filename.concat dir entry in
+        if Sys.is_directory full then walk_cmts full acc
+        else if is_cmt entry then full :: acc
+        else acc)
+      acc entries
+  end
+
+let find_cmt_files ?(dirs = [ "lib" ]) ~root () =
+  (* Prefer the dune build tree when we are invoked from the source
+     root; when already inside _build/default the .objs dirs sit right
+     next to the sources. *)
+  let bases =
+    let in_build = Filename.concat (Filename.concat root "_build") "default" in
+    if Sys.file_exists in_build && Sys.is_directory in_build then [ in_build ]
+    else [ root ]
+  in
+  List.concat_map
+    (fun base ->
+      List.concat_map
+        (fun dir -> List.rev (walk_cmts (Filename.concat base dir) []))
+        dirs)
+    bases
+
+let read_source ~root path =
+  let candidates =
+    [ Filename.concat root path;
+      Filename.concat (Filename.concat (Filename.concat root "_build") "default") path ]
+  in
+  List.find_map
+    (fun file ->
+      if Sys.file_exists file then
+        match In_channel.with_open_bin file In_channel.input_all with
+        | source -> Some source
+        | exception Sys_error _ -> None
+      else None)
+    candidates
+
+let load_cmt ~root file =
+  match Cmt_format.read_cmt file with
+  | exception exn ->
+      Error (Printf.sprintf "%s: unreadable cmt: %s" file (Printexc.to_string exn))
+  | infos -> (
+      match infos.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation structure ->
+          let path =
+            match infos.Cmt_format.cmt_sourcefile with
+            | Some src -> (
+                match normalize_source_path src with
+                | Some p -> p
+                | None -> src)
+            | None -> Filename.basename file
+          in
+          Ok
+            (Some
+               {
+                 modname = normalize_modname infos.Cmt_format.cmt_modname;
+                 path;
+                 structure;
+                 source = read_source ~root path;
+               })
+      | _ -> Ok None (* interfaces, packs: nothing to analyze *))
+
+let load ?dirs ~root () =
+  let files = find_cmt_files ?dirs ~root () in
+  let units, errors =
+    List.fold_left
+      (fun (units, errors) file ->
+        match load_cmt ~root file with
+        | Ok (Some u) -> (u :: units, errors)
+        | Ok None -> (units, errors)
+        | Error e -> (units, e :: errors))
+      ([], []) files
+  in
+  (* Dune's library wrapper modules (pure module aliases named after the
+     library) carry no value bindings worth analyzing but would collide
+     with submodule names; drop any unit whose normalized name collides
+     with another unit coming from a dot-directory higher up.  Sorting
+     by path keeps the result deterministic. *)
+  let units =
+    List.sort (fun a b -> String.compare a.path b.path) units
+  in
+  { units; load_errors = List.rev errors }

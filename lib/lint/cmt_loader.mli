@@ -1,0 +1,43 @@
+(** Typed-tree loading for the cmt-based lint layer.
+
+    Dune compiles every module with [-bin-annot] (its default), leaving
+    a [*.cmt] — the full typed tree — next to each object file under
+    [_build/default/<dir>/.<lib>.objs/byte/].  This module locates and
+    unmarshals them, normalizes dune's [Lib__Module] name mangling and
+    build-tree paths back to root-relative source paths, and pairs each
+    typed tree with its source text so the shared
+    [(* lint: allow Rn *)] suppressions keep working in the typed
+    layer.
+
+    The build-before-lint contract: cmts only exist after [dune build],
+    so the typed linter reports a load error (exit code 2 in the CLI)
+    on an unbuilt tree rather than silently passing. *)
+
+type unit_info = {
+  modname : string;  (** normalized, e.g. ["Engine"] for [Dsim__Engine] *)
+  path : string;  (** root-relative source path, e.g. ["lib/dsim/engine.ml"] *)
+  structure : Typedtree.structure;
+  source : string option;  (** source text when found (for suppressions) *)
+}
+
+type load = {
+  units : unit_info list;  (** sorted by [path] *)
+  load_errors : string list;
+}
+
+val normalize_modname : string -> string
+(** ["Dsim__Engine"] -> ["Engine"]; names without dune's ["__"] mangle
+    are returned unchanged. *)
+
+val normalize_source_path : string -> string option
+(** Keep the path from the first recognized top-level directory
+    ([lib], [bin], ...); [None] when none occurs. *)
+
+val find_cmt_files : ?dirs:string list -> root:string -> unit -> string list
+(** All [*.cmt] files under [root/_build/default/<dir>] (preferred when
+    present) or [root/<dir>], for each of [dirs] (default [["lib"]]). *)
+
+val load : ?dirs:string list -> root:string -> unit -> load
+(** Read every located cmt that holds an implementation.  Interfaces
+    and packed units are skipped; unreadable files become entries in
+    [load_errors]. *)

@@ -63,7 +63,80 @@ let scan ?(hash_allowlist = default_hash_allowlist)
     files_scanned = List.length files;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Typed layer (R7-R10) over the cmt trees of the built project.       *)
+
+let scan_typed ?config ?(dirs = [ "lib" ]) ~root () =
+  let cmts = Cmt_loader.find_cmt_files ~dirs ~root () in
+  if cmts = [] then
+    {
+      diagnostics = [];
+      errors =
+        [ Printf.sprintf
+            "no .cmt files found under %S for %s; run `dune build` first \
+             (the typed linter reads _build/default/**/*.cmt)"
+            root
+            (String.concat ", " dirs) ];
+      files_scanned = 0;
+    }
+  else
+    let load = Cmt_loader.load ~dirs ~root () in
+    {
+      diagnostics = Typed_lint.analyze ?config load;
+      errors = load.load_errors;
+      files_scanned = List.length load.units;
+    }
+
 let ok report = report.diagnostics = [] && report.errors = []
+
+(* ------------------------------------------------------------------ *)
+(* Baselines: known findings accepted with a written justification.    *)
+
+let baseline_key (d : Static_lint.diagnostic) =
+  (Rules.id d.rule, d.path, d.message)
+
+let read_baseline path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+      let entries = ref [] in
+      let bad = ref None in
+      String.split_on_char '\n' contents
+      |> List.iteri (fun i line ->
+             let line = String.trim line in
+             if line = "" || line.[0] = '#' then ()
+             else
+               match String.split_on_char '\t' line with
+               | [ rule; file; message ] ->
+                   entries := (rule, file, message) :: !entries
+               | _ ->
+                   if !bad = None then
+                     bad :=
+                       Some
+                         (Printf.sprintf
+                            "%s:%d: malformed baseline line (expected \
+                             RULE<TAB>PATH<TAB>MESSAGE)"
+                            path (i + 1)));
+      (match !bad with
+      | Some e -> Error e
+      | None -> Ok (List.rev !entries))
+
+let apply_baseline entries report =
+  let keep, waived =
+    List.partition
+      (fun d -> not (List.mem (baseline_key d) entries))
+      report.diagnostics
+  in
+  ({ report with diagnostics = keep }, List.length waived)
+
+let render_baseline ppf report =
+  Format.fprintf ppf
+    "# lint baseline: RULE<TAB>PATH<TAB>MESSAGE, one accepted finding per \
+     line.@.# Keep a justification comment above every entry.@.";
+  List.iter
+    (fun (d : Static_lint.diagnostic) ->
+      Format.fprintf ppf "%s\t%s\t%s@." (Rules.id d.rule) d.path d.message)
+    report.diagnostics
 
 let render_human ppf report =
   List.iter
@@ -112,4 +185,43 @@ let render_json ppf report =
     (String.concat "," (List.map violation report.diagnostics))
     (String.concat ","
        (List.map (fun e -> "\"" ^ json_escape e ^ "\"") report.errors));
+  Format.pp_print_newline ppf ()
+
+(* SARIF 2.1.0 (the GitHub code-scanning dialect): one run, rule
+   metadata from the shared {!Rules} tables, results with physical
+   locations, read/parse errors as tool execution notifications. *)
+let render_sarif ppf report =
+  let rule_entry rule =
+    Printf.sprintf
+      {|{"id":"%s","name":"%s","shortDescription":{"text":"%s"},"fullDescription":{"text":"%s"},"defaultConfiguration":{"level":"error"}}|}
+      (Rules.id rule)
+      (json_escape (Rules.title rule))
+      (json_escape (Rules.title rule))
+      (json_escape (Rules.describe rule))
+  in
+  let rule_index rule =
+    let rec go i = function
+      | [] -> 0
+      | r :: rest -> if r = rule then i else go (i + 1) rest
+    in
+    go 0 Rules.all
+  in
+  let result (d : Static_lint.diagnostic) =
+    Printf.sprintf
+      {|{"ruleId":"%s","ruleIndex":%d,"level":"error","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s","uriBaseId":"SRCROOT"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+      (Rules.id d.rule) (rule_index d.rule)
+      (json_escape d.message)
+      (json_escape d.path)
+      d.line (d.col + 1)
+  in
+  let notification e =
+    Printf.sprintf
+      {|{"level":"error","message":{"text":"%s"}}|} (json_escape e)
+  in
+  Format.fprintf ppf
+    {|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"dsim-lint","informationUri":"https://example.invalid/dsim-lint","rules":[%s]}},"results":[%s],"invocations":[{"executionSuccessful":%b,"toolExecutionNotifications":[%s]}],"columnKind":"utf16CodeUnits"}]}|}
+    (String.concat "," (List.map rule_entry Rules.all))
+    (String.concat "," (List.map result report.diagnostics))
+    (report.errors = [])
+    (String.concat "," (List.map notification report.errors));
   Format.pp_print_newline ppf ()

@@ -1,4 +1,5 @@
-(** Filesystem walker and report rendering for the static linter. *)
+(** Filesystem walker, typed-layer entry point, baselines and report
+    rendering (human / json / SARIF) for both lint layers. *)
 
 type report = {
   diagnostics : Static_lint.diagnostic list;  (** sorted by (path, line, col) *)
@@ -30,6 +31,36 @@ val scan :
     lint every [.ml] file, and merge the results.  Paths in the report
     are relative to [root]. *)
 
+val scan_typed :
+  ?config:Typed_lint.config -> ?dirs:string list -> root:string -> unit -> report
+(** Run the typed layer (R7-R10): load every [*.cmt] under
+    [root/_build/default/<dirs>] (or [root/<dirs>] when the build tree
+    itself is the root, as under a dune rule) and analyze.  When no cmt
+    is found the report carries a single error telling the caller to
+    [dune build] first — the typed linter never silently passes on an
+    unbuilt tree.  [files_scanned] counts loaded compilation units. *)
+
+(** {2 Baselines}
+
+    A baseline file accepts known findings: [RULE<TAB>PATH<TAB>MESSAGE]
+    lines, ['#'] comments.  Messages deliberately contain no line
+    numbers, so baselines survive unrelated edits. *)
+
+val baseline_key : Static_lint.diagnostic -> string * string * string
+(** (rule id, path, message) — the identity a baseline entry matches. *)
+
+val read_baseline :
+  string -> ((string * string * string) list, string) result
+
+val apply_baseline :
+  (string * string * string) list -> report -> report * int
+(** Drop baselined diagnostics; returns the filtered report and how
+    many findings the baseline waived. *)
+
+val render_baseline : Format.formatter -> report -> unit
+(** Emit the report's diagnostics in baseline syntax (the documented
+    way to seed a baseline file). *)
+
 val render_human : Format.formatter -> report -> unit
 (** "path:line:col: [Rn] message" lines plus a summary line. *)
 
@@ -37,6 +68,11 @@ val render_json : Format.formatter -> report -> unit
 (** Machine-readable report:
     [{"files_scanned":N,"violations":[{"path":..,"line":..,"col":..,
     "rule":..,"message":..}],"errors":[..]}]. *)
+
+val render_sarif : Format.formatter -> report -> unit
+(** SARIF 2.1.0: one run, rule metadata for R1-R10 from {!Rules},
+    results with physical locations (1-based columns), errors as tool
+    execution notifications. *)
 
 val ok : report -> bool
 (** True when there are neither diagnostics nor errors. *)

@@ -1,6 +1,6 @@
-type t = R1 | R2 | R3 | R4 | R5 | R6
+type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
-let all = [ R1; R2; R3; R4; R5; R6 ]
+let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
 
 let id = function
   | R1 -> "R1"
@@ -9,6 +9,10 @@ let id = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
+  | R10 -> "R10"
 
 let of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -18,7 +22,15 @@ let of_id s =
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
+  | "R10" -> Some R10
   | _ -> None
+
+let layer = function
+  | R1 | R2 | R3 | R4 | R5 | R6 -> `Static
+  | R7 | R8 | R9 | R10 -> `Typed
 
 let title = function
   | R1 -> "ambient nondeterminism source"
@@ -27,6 +39,10 @@ let title = function
   | R4 -> "exact float-literal equality"
   | R5 -> "printing from library code"
   | R6 -> "multicore primitive outside the parallel sweep engine"
+  | R7 -> "typed polymorphic compare on non-immediate data"
+  | R8 -> "effectful protocol transition"
+  | R9 -> "stream used both as derivation parent and draw source"
+  | R10 -> "catch-all branch over a protocol message type"
 
 let describe = function
   | R1 ->
@@ -63,6 +79,39 @@ let describe = function
        discipline keeps results independent of scheduling; only \
        lib/core/par_sweep.ml (the linter's domain allowlist) may touch \
        the primitives directly."
+  | R7 ->
+      "The typed successor of R3/R4: any use of Stdlib.compare, (=), (<>) \
+       or Hashtbl.hash whose instantiated argument type is not immediate \
+       (int, bool, char or unit) is flagged, wherever the argument \
+       syntactically comes from.  The syntactic rules only catch literal \
+       record/constructor/field arguments; the typed rule sees through \
+       variables, aliases and partial applications (e.g. `let compare = \
+       compare' inside a Map.Make argument), which is where polymorphic \
+       comparison actually hides."
+  | R8 ->
+      "Protocol transition functions (init, outgoing, on_deliver, \
+       on_reset, output, ... wherever a Dsim.Protocol.t record is built) \
+       must be pure up to their Prng.Stream argument: no transitive \
+       mutation of state that was not allocated inside the transition \
+       itself, no channel IO, and no raising outside the allowlist \
+       (Invalid_argument / Assert_failure guards).  The effect analysis \
+       follows the call graph across modules, so a Hashtbl.replace buried \
+       two helpers deep is still a violation."
+  | R9 ->
+      "Prng.Stream values have two legitimate roles: a derivation parent \
+       (Stream.derive/derive_name snapshot the parent by value, so \
+       fanning out children by distinct indices is order-independent) or \
+       a sequential draw source (bool/int_below/... advance the state). \
+       Mixing roles on one stream makes every derived child's identity \
+       depend on how many draws happened first - i.e. on scheduling - so \
+       a stream that has been drawn from must not be derived from, and \
+       vice versa.  Use Stream.copy to fork an explicit draw stream."
+  | R10 ->
+      "Matching a protocol message/payload type with a catch-all `_` (or \
+       variable) branch silently drops every constructor added later: the \
+       protocol keeps typechecking while discarding messages on the \
+       floor.  Message dispatch must stay exhaustive by constructor so \
+       that adding a message constructor is a compile-surface event."
 
 type scope = {
   top : [ `Lib | `Bin | `Bench | `Examples | `Other ];
@@ -92,7 +141,7 @@ let applies rule scope =
   match rule with
   | R1 | R5 -> scope.top = `Lib
   | R2 | R6 -> true
-  | R3 -> (
+  | R3 | R7 | R10 -> (
       scope.top = `Lib
       &&
       match scope.sub with
@@ -104,3 +153,13 @@ let applies rule scope =
       match scope.sub with
       | Some ("stats" | "lowerbound") -> true
       | _ -> false)
+  | R8 ->
+      (* Roots are protocol-record constructions, which only exist under
+         lib/; the reachable effect may live anywhere. *)
+      scope.top = `Lib
+  | R9 -> (
+      scope.top = `Lib
+      &&
+      match scope.sub with
+      | Some ("prng" | "lint") -> false  (* the implementation itself *)
+      | _ -> true)

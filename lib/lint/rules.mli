@@ -2,20 +2,26 @@
 
     The reproduction's value rests on every execution being a pure
     function of its seed; these rules ban the OCaml constructs that
-    silently break that property (ambient randomness, version-dependent
-    hashing, polymorphic structural comparison on protocol data, exact
-    float equality, stray printing that bypasses the trace, and raw
-    multicore primitives outside the sanctioned sweep engine). *)
+    silently break that property.  R1-R6 are purely syntactic (parsed
+    AST, {!Static_lint}); R7-R10 are type-aware and interprocedural
+    (compiler [*.cmt] typed trees, {!Typed_lint}), catching what syntax
+    alone cannot: polymorphic comparison hidden behind variables,
+    effectful protocol transitions, stream role aliasing, and silently
+    dropped message constructors. *)
 
-type t = R1 | R2 | R3 | R4 | R5 | R6
+type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 val all : t list
 
 val id : t -> string
-(** "R1" .. "R6". *)
+(** "R1" .. "R10". *)
 
 val of_id : string -> t option
-(** Case-insensitive parse of "R1" .. "R6". *)
+(** Case-insensitive parse of "R1" .. "R10". *)
+
+val layer : t -> [ `Static | `Typed ]
+(** Which analysis layer emits the rule: R1-R6 from the syntactic
+    linter, R7-R10 from the cmt-based typed linter. *)
 
 val title : t -> string
 (** One-line rule name, e.g. "ambient nondeterminism source". *)
@@ -35,6 +41,7 @@ val scope_of_path : string -> scope
 
 val applies : t -> scope -> bool
 (** Whether the rule is checked at all for files in this scope:
-    R1 and R5 in [lib/] only; R2 and R6 everywhere; R3 in [lib/dsim],
-    [lib/protocols], [lib/adversary]; R4 in [lib/stats] and
-    [lib/lowerbound]. *)
+    R1 and R5 in [lib/] only; R2 and R6 everywhere; R3, R7 and R10 in
+    [lib/dsim], [lib/protocols], [lib/adversary]; R4 in [lib/stats] and
+    [lib/lowerbound]; R8 in [lib/]; R9 in [lib/] except [lib/prng] and
+    [lib/lint] (the stream implementation and the linter itself). *)

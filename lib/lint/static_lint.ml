@@ -23,13 +23,34 @@ let compare_diagnostic a b =
 
 type suppression = All | Only of Rules.t list
 
+(* Knuth-Morris-Pratt: one pass over the haystack, no per-position
+   rescans and no substring allocation. *)
 let find_substring haystack needle from =
   let nl = String.length needle and hl = String.length haystack in
-  let rec scan i = if i + nl > hl then None
-    else if String.sub haystack i nl = needle then Some i
-    else scan (i + 1)
-  in
-  if from > hl then None else scan from
+  if nl = 0 then if from <= hl then Some (Int.max from 0) else None
+  else if from > hl - nl then None
+  else begin
+    let fail = Array.make nl 0 in
+    let k = ref 0 in
+    for i = 1 to nl - 1 do
+      while !k > 0 && needle.[!k] <> needle.[i] do
+        k := fail.(!k - 1)
+      done;
+      if needle.[!k] = needle.[i] then incr k;
+      fail.(i) <- !k
+    done;
+    let matched = ref 0 and result = ref None in
+    let i = ref (Int.max from 0) in
+    while !result = None && !i < hl do
+      while !matched > 0 && needle.[!matched] <> haystack.[!i] do
+        matched := fail.(!matched - 1)
+      done;
+      if needle.[!matched] = haystack.[!i] then incr matched;
+      if !matched = nl then result := Some (!i - nl + 1);
+      incr i
+    done;
+    !result
+  end
 
 let parse_suppression_line line =
   match find_substring line "lint:" 0 with
@@ -133,6 +154,23 @@ let r5_banned name =
       "print_char"; "print_float"; "print_bytes"; "prerr_string";
       "prerr_endline"; "prerr_newline"; "Stdlib.print_string";
       "Stdlib.print_endline" ]
+  (* The Format std_formatter helpers print just as surely as
+     print_string does. *)
+  || starts_with "Format.print_" name
+  || starts_with "Stdlib.Format.print_" name
+
+(* fprintf is fine against a caller-supplied formatter and banned
+   against a literal ambient channel. *)
+let r5_fprintf name =
+  List.mem name
+    [ "Printf.fprintf"; "Stdlib.Printf.fprintf"; "Format.fprintf";
+      "Stdlib.Format.fprintf" ]
+
+let r5_ambient_channel name =
+  List.mem name
+    [ "stdout"; "stderr"; "Stdlib.stdout"; "Stdlib.stderr";
+      "Format.std_formatter"; "Format.err_formatter";
+      "Stdlib.Format.std_formatter"; "Stdlib.Format.err_formatter" ]
 
 let lint_source ?(hash_allowlist = []) ?(domain_allowlist = []) ~path source =
   let scope = Rules.scope_of_path path in
@@ -202,6 +240,17 @@ let lint_source ?(hash_allowlist = []) ?(domain_allowlist = []) ~path source =
               report expr.Parsetree.pexp_loc Rules.R4
                 (Printf.sprintf
                    "`%s` against a float literal; use Float.equal or an explicit tolerance" op)
+        | Some f when r5_fprintf f -> (
+            match args with
+            | (_, first) :: _ -> (
+                match ident_name (strip first) with
+                | Some channel when r5_ambient_channel channel ->
+                    report expr.Parsetree.pexp_loc Rules.R5
+                      (Printf.sprintf
+                         "`%s %s` prints to an ambient channel; take the formatter as an argument instead"
+                         f channel)
+                | _ -> ())
+            | [] -> ())
         | _ -> ())
     | _ -> ()
   in

@@ -20,6 +20,32 @@ type diagnostic = {
 val compare_diagnostic : diagnostic -> diagnostic -> int
 (** Order by (path, line, col, rule). *)
 
+val find_substring : string -> string -> int -> int option
+(** [find_substring haystack needle from]: index of the first occurrence
+    of [needle] at or after [from], in a single KMP pass (no rescans, no
+    allocation per position).  Exposed for tests. *)
+
+(** {2 Suppression comments}
+
+    Shared by both lint layers: the typed linter ({!Typed_lint}) honours
+    the same [(* lint: allow R8 *)] syntax via these functions. *)
+
+type suppression = All | Only of Rules.t list
+
+val parse_suppression_line : string -> suppression option
+(** Parse one source line; [Some] when it contains
+    [lint: allow <spec>] where <spec> is [all] or a comma/space
+    separated list of rule ids (anything from the closing ["*)"] on is
+    ignored).  Lines mentioning only unknown rule ids parse to [None]. *)
+
+val suppressions_of_source : string -> (int, suppression) Hashtbl.t
+(** Line number (1-based) -> suppression, for every line of the source
+    that carries one. *)
+
+val suppressed : (int, suppression) Hashtbl.t -> line:int -> Rules.t -> bool
+(** Whether a diagnostic on [line] is silenced: a suppression covers its
+    own line and the following one. *)
+
 val lint_source :
   ?hash_allowlist:string list ->
   ?domain_allowlist:string list ->

@@ -1,0 +1,70 @@
+(** Layer 2: the cmt-based typed & interprocedural determinism linter.
+
+    Works on compiler [*.cmt] typed trees ({!Cmt_loader}), a call graph
+    over the library ({!Callgraph}) and fixpoint effect summaries
+    ({!Effects}), and enforces rules R7-R10:
+
+    - {b R7}: [Stdlib.compare] / [=] / [<>] / [Hashtbl.hash] reached at
+      a non-immediate type (anything but [int]/[bool]/[char]/[unit]) in
+      the protocol-facing subtrees.  Subsumes the syntactic R3/R4
+      checks: the typed view also catches the operator hidden behind a
+      variable, a functor argument, or partial application.
+    - {b R8}: protocol transitions (the designated fields of a
+      [Protocol.t] record) must be pure up to their [Prng.Stream]
+      argument — no transitive mutation of non-locally-allocated state,
+      no channel IO, no raise outside the per-protocol allowlist.
+    - {b R9}: stream role linearity.  [Stream.derive] snapshots its
+      parent by value, so deriving {i and} drawing from the same stream
+      in one function makes every derived child depend on the draw
+      schedule; such streams must fork an explicit draw stream with
+      [Stream.copy] first.
+    - {b R10}: no catch-all [_] branch in a match over a protocol
+      message/payload type — new constructors must be impossible to
+      drop silently.
+
+    Both layers share the [(* lint: allow Rn *)] suppression syntax and
+    the {!Rules.applies} scoping. *)
+
+type config = {
+  r7_subs : string list;
+      (** [lib/] subdirectories R7 scans (default [dsim], [protocols],
+          [adversary]); widen to e.g. [stats] to cover the R4 scope. *)
+  pure_fields : string list;
+      (** [Protocol.t] fields whose values must be effect-free.
+          Pretty-printers ([pp_message], [pp_state]) and metadata are
+          deliberately absent. *)
+  raise_allowlist : string list;
+      (** Exception constructors a transition may raise (defaults:
+          [Invalid_argument], [Assert_failure] — guard rails, not
+          control flow). *)
+  message_type_names : string list;
+      (** Type names R10 treats as message types, besides the
+          [_msg]/[_message]/[_payload] suffixes. *)
+  exempt_modules : string list;
+      (** Modules whose calls are never effects (default
+          {!Effects.default_exempt_modules}). *)
+}
+
+val default_config : config
+
+val analyze :
+  ?config:config -> Cmt_loader.load -> Static_lint.diagnostic list
+(** Run R7-R10 over every loaded unit.  Diagnostics carry root-relative
+    paths, honour inline suppressions from the unit's source (when it
+    could be read) and {!Rules.applies} scoping, and are sorted by
+    (path, line, col, rule). *)
+
+val analyze_units :
+  ?config:config -> Cmt_loader.unit_info list -> Static_lint.diagnostic list
+(** Same on an explicit unit list (used by fixture tests). *)
+
+val check_source :
+  ?config:config ->
+  path:string ->
+  string ->
+  (Static_lint.diagnostic list, string) result
+(** Typecheck a standalone source in memory (no cmt needed; stdlib-only
+    environment) and run the typed rules on it.  [path] decides rule
+    scoping exactly as for on-disk files.  [Error] on parse or type
+    errors — fixtures must be self-contained (declare their own
+    [Stream]/[Protocol] modules). *)

@@ -32,6 +32,11 @@ let rec member config ~k ~value ~samples ~tau ~rng =
         let hits = ref 0 in
         for _ = 1 to samples do
           let fork = Dsim.Engine.copy config in
+          (* Deliberate R9 exception: every Monte-Carlo fork needs coins
+             the simulated adversary could not anticipate, so the reseed
+             is derived from the live draw position; pinned Z^k
+             membership values depend on this exact stream sequence. *)
+          (* lint: allow R9 *)
           Dsim.Engine.reseed fork (Prng.Stream.derive rng (Prng.Stream.bits rng));
           apply_choice fork choice;
           if member fork ~k:(k - 1) ~value ~samples ~tau ~rng then incr hits

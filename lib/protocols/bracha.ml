@@ -26,6 +26,11 @@ type state = {
 
 let bit_of_vote = function Val b | Dec b -> b
 
+let vote_equal a b =
+  match (a, b) with
+  | Val x, Val y | Dec x, Dec y -> Bool.equal x y
+  | Val _, Dec _ | Dec _, Val _ -> false
+
 let quorum state = state.n - state.fault_bound
 
 let admitted_for state tag =
@@ -113,8 +118,8 @@ let finish_phase state votes rng =
       let state = { state with phase = 3 } in
       rbc_broadcast state payload
   | 3 ->
-      let dec_true = count (function Dec true -> true | _ -> false) in
-      let dec_false = count (function Dec false -> true | _ -> false) in
+      let dec_true = count (function Dec b -> b | Val _ -> false) in
+      let dec_false = count (function Dec b -> not b | Val _ -> false) in
       let decide_at = (2 * state.fault_bound) + 1 in
       let adopt_at = state.fault_bound + 1 in
       let output =
@@ -152,7 +157,7 @@ let init_with ~validated ~n ~t ~id ~input =
       round = 1;
       phase = 1;
       x = input;
-      rbc = Reliable_broadcast.create ~n ~t ~self:id;
+      rbc = Reliable_broadcast.create ~n ~t ~self:id ~equal:vote_equal;
       validated;
       admitted = Int_map.empty;
       quarantine = [];

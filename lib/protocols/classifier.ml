@@ -47,14 +47,17 @@ let check protocol ~n ~t ~seeds ~windows_per_run =
       (match Hashtbl.find_opt core_table core with
       | None -> Hashtbl.add core_table core sends
       | Some previous ->
-          if previous <> sends && !forgetful_witness = None then
+          if (not (String.equal previous sends))
+             && Option.is_none !forgetful_witness
+          then
             forgetful_witness :=
               Some
                 (Printf.sprintf
                    "core {%s} emitted both {%s} and {%s}" core previous sends));
       (* Fully-communicative check: a processor whose outbox is
          non-empty must address all n processors. *)
-      if sends <> "" && !fully_comm_witness = None then begin
+      if (not (String.equal sends "")) && Option.is_none !fully_comm_witness
+      then begin
         let recipients =
           let _, messages =
             (Dsim.Engine.protocol config).Dsim.Protocol.outgoing

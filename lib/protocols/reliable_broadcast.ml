@@ -3,7 +3,10 @@ module Int_map = Map.Make (Int)
 module Key = struct
   type t = int * int (* origin, tag *)
 
-  let compare = compare
+  let compare (a_origin, a_tag) (b_origin, b_tag) =
+    match Int.compare a_origin b_origin with
+    | 0 -> Int.compare a_tag b_tag
+    | c -> c
 end
 
 module Key_map = Map.Make (Key)
@@ -29,11 +32,13 @@ type 'p t = {
   n : int;
   fault_bound : int;
   self : int;
+  equal : 'p -> 'p -> bool;  (* payload equality; never polymorphic [=] *)
   instances : 'p inst Key_map.t;
   started : int list;  (* tags this processor already originated *)
 }
 
-let create ~n ~t ~self = { n; fault_bound = t; self; instances = Key_map.empty; started = [] }
+let create ~n ~t ~self ~equal =
+  { n; fault_bound = t; self; equal; instances = Key_map.empty; started = [] }
 
 let to_all t message = List.init t.n (fun dst -> (dst, message))
 
@@ -48,8 +53,8 @@ let broadcast t ~tag payload =
     (t, to_all t (Initial { tag; payload }))
 
 (* Count entries in a sender map that carry exactly this payload. *)
-let matching payload map =
-  Int_map.fold (fun _ p acc -> if p = payload then acc + 1 else acc) map 0
+let matching equal payload map =
+  Int_map.fold (fun _ p acc -> if equal p payload then acc + 1 else acc) map 0
 
 let echo_quorum t = ((t.n + t.fault_bound) / 2) + 1
 let ready_resend t = t.fault_bound + 1
@@ -62,8 +67,8 @@ let evaluate t key inst payload =
   let sends = ref [] in
   let inst =
     if (not inst.ready_sent)
-       && (matching payload inst.echoes >= echo_quorum t
-          || matching payload inst.readies >= ready_resend t)
+       && (matching t.equal payload inst.echoes >= echo_quorum t
+          || matching t.equal payload inst.readies >= ready_resend t)
     then begin
       sends := to_all t (Ready { origin; tag; payload });
       { inst with ready_sent = true }
@@ -71,8 +76,9 @@ let evaluate t key inst payload =
     else inst
   in
   let accepted_now =
-    if inst.accepted = None && matching payload inst.readies >= accept_quorum t then
-      Some payload
+    if Option.is_none inst.accepted
+       && matching t.equal payload inst.readies >= accept_quorum t
+    then Some payload
     else None
   in
   let inst =
@@ -121,7 +127,9 @@ let accepted t ~tag =
       | Some payload when key_tag = tag -> (origin, payload) :: acc
       | _ -> acc)
     t.instances []
-  |> List.sort compare
+  (* Keys are unique per origin at a fixed tag, so ordering by origin
+     alone is a total order here. *)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let accepted_count t ~tag = List.length (accepted t ~tag)
 

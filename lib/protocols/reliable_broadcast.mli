@@ -26,7 +26,11 @@ type 'p msg =
   | Echo of { origin : int; tag : int; payload : 'p }
   | Ready of { origin : int; tag : int; payload : 'p }
 
-val create : n:int -> t:int -> self:int -> 'p t
+val create :
+  n:int -> t:int -> self:int -> equal:('p -> 'p -> bool) -> 'p t
+(** [equal] decides when two payloads match for quorum counting; it
+    must be a structural, deterministic equality (polymorphic [=] is
+    banned in this subtree by lint rule R7). *)
 
 val broadcast : 'p t -> tag:int -> 'p -> 'p t * (int * 'p msg) list
 (** Start an instance as origin: the [Initial] messages to send.

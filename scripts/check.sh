@@ -1,13 +1,71 @@
 #!/usr/bin/env sh
 # The full CI gate: build everything, run the test suite (which
-# includes both lint layers), then prove the parallel sweep engine's
-# determinism contract end to end — the quick experiment tables at
-# -j 2 must be byte-identical to -j 1.
+# includes both lint layers), re-run the typed analyzer to emit a
+# SARIF report, exercise the lint CLI's exit-code contract on both
+# layers, then prove the parallel sweep engine's determinism contract
+# end to end — the quick experiment tables at -j 2 must be
+# byte-identical to -j 1.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
+
+echo "check: typed lint (R7-R10) SARIF report"
+dune build @lint-typed
+# Exit 1 here means a non-baselined finding slipped past the alias
+# (e.g. someone passed a stale --baseline); exit 2 means the cmt load
+# itself failed.  Either way the gate fails, but we keep the SARIF
+# file around for inspection.
+if dune exec bin/lint.exe -- --typed --format sarif > lint.sarif; then
+  echo "check: typed tree clean, SARIF written to lint.sarif"
+else
+  echo "check: FAIL — typed lint reported findings or errors (see lint.sarif)" >&2
+  exit 1
+fi
+
+echo "check: lint CLI exit-code matrix (both layers)"
+fixture_dir=$(mktemp -d)
+# Clean file: no determinism-rule violations at either layer.
+cat > "$fixture_dir/clean.ml" <<'EOF'
+let double x = 2 * x
+let total xs = List.fold_left ( + ) 0 xs
+EOF
+# Violating file: ambient randomness (syntactic R1) plus a polymorphic
+# compare at a non-immediate type (typed R7 under a lib/dsim path).
+static_bad_dir=$(mktemp -d)
+mkdir -p "$static_bad_dir/lib/dsim"
+cat > "$static_bad_dir/lib/dsim/bad.ml" <<'EOF'
+let flip () = Random.bool ()
+let same (a : int list) b = a = b
+EOF
+# Unparsable file: both layers must report a scan error, not a finding.
+cat > "$fixture_dir/broken.ml" <<'EOF'
+let unclosed = (
+EOF
+expect() {
+  want=$1; shift
+  set +e
+  "$@" > /dev/null 2>&1
+  got=$?
+  set -e
+  if [ "$got" -ne "$want" ]; then
+    echo "check: FAIL — expected exit $want from: $*, got $got" >&2
+    exit 1
+  fi
+}
+lint="_build/default/bin/lint.exe"
+# Static layer: 0 clean / 1 violation / 2 error.
+expect 0 "$lint" --check "$fixture_dir/clean.ml"
+expect 1 "$lint" --check "$static_bad_dir/lib/dsim/bad.ml"
+expect 2 "$lint" --check "$fixture_dir/broken.ml"
+# Typed layer: --check runs both layers on a standalone file, so the
+# same fixtures pin the typed codes too (the R7 hit needs the
+# lib/dsim-scoped path); a cmt-less directory is the typed error case.
+expect 1 "$lint" --check "$static_bad_dir/lib/dsim/bad.ml" --format sarif
+expect 2 "$lint" --typed --root "$fixture_dir"
+rm -rf "$fixture_dir" "$static_bad_dir"
+echo "check: exit-code matrix ok (0 clean / 1 findings / 2 errors)"
 
 echo "check: differential -j smoke (experiments --quick)"
 out_dir=$(mktemp -d)

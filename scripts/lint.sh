@@ -1,7 +1,18 @@
 #!/usr/bin/env sh
-# Run the determinism lint pass: the @lint alias fails the build on any
-# violation, then the CLI re-emits the report as JSON for tooling.
+# Run both determinism lint layers: the syntactic pass (@lint, R1-R6)
+# and the cmt-based typed pass (@lint-typed, R7-R10; builds first so
+# the *.cmt trees exist).  Then re-emit both reports for tooling —
+# JSON by default; extra arguments are forwarded to both CLI
+# invocations instead (e.g. `scripts/lint.sh --format sarif` or
+# `--baseline lint-baseline.tsv`).
 set -eu
 cd "$(dirname "$0")/.."
 dune build @lint
-exec dune exec bin/lint.exe -- --format json "$@"
+dune build @lint-typed
+if [ "$#" -eq 0 ]; then
+  dune exec bin/lint.exe -- --format json
+  exec dune exec bin/lint.exe -- --typed --format json
+else
+  dune exec bin/lint.exe -- "$@"
+  exec dune exec bin/lint.exe -- --typed "$@"
+fi

@@ -87,6 +87,127 @@ let test_r5_printing () =
     (diags ~path:"lib/dsim/foo.ml"
        "let pp ppf n = Format.fprintf ppf \"%d\" n")
 
+(* The R5 gaps closed by this PR: the std_formatter print helpers and
+   fprintf aimed at a literal ambient channel. *)
+let test_r5_ambient_channels () =
+  check_rules "Format.print_string flagged" [ "R5" ]
+    (diags ~path:"lib/dsim/foo.ml"
+       "let f s = Format.print_string s");
+  check_rules "Format.print_newline flagged" [ "R5" ]
+    (diags ~path:"lib/stats/foo.ml" "let f () = Format.print_newline ()");
+  check_rules "Printf.fprintf stdout flagged" [ "R5" ]
+    (diags ~path:"lib/dsim/foo.ml"
+       "let f n = Printf.fprintf stdout \"%d\" n");
+  check_rules "Printf.fprintf stderr flagged" [ "R5" ]
+    (diags ~path:"lib/dsim/foo.ml"
+       "let f n = Printf.fprintf stderr \"%d\" n");
+  check_rules "Format.fprintf std_formatter flagged" [ "R5" ]
+    (diags ~path:"lib/dsim/foo.ml"
+       "let f n = Format.fprintf Format.std_formatter \"%d\" n");
+  check_rules "Stdlib-qualified spelling flagged" [ "R5" ]
+    (diags ~path:"lib/dsim/foo.ml"
+       "let f n = Stdlib.Printf.fprintf Stdlib.stdout \"%d\" n");
+  check_rules "fprintf to a parameter channel is fine" []
+    (diags ~path:"lib/dsim/foo.ml"
+       "let f oc n = Printf.fprintf oc \"%d\" n");
+  check_rules "fprintf to a parameter formatter is fine" []
+    (diags ~path:"lib/dsim/foo.ml"
+       "let pp ppf n = Format.fprintf ppf \"%d\" n");
+  check_rules "bin may aim at stdout" []
+    (diags ~path:"bin/foo.ml" "let f n = Printf.fprintf stdout \"%d\" n")
+
+let test_find_substring () =
+  let find = Static_lint.find_substring in
+  Alcotest.(check (option int)) "basic" (Some 2) (find "ababc" "abc" 0);
+  Alcotest.(check (option int)) "at start" (Some 0) (find "abc" "abc" 0);
+  Alcotest.(check (option int)) "from skips the first hit" (Some 1)
+    (find "aaa" "aa" 1);
+  Alcotest.(check (option int)) "overlapping" (Some 0) (find "aaa" "aa" 0);
+  Alcotest.(check (option int)) "periodic needle" (Some 2)
+    (find "abababc" "ababc" 0);
+  Alcotest.(check (option int)) "missing" None (find "abcdef" "xyz" 0);
+  Alcotest.(check (option int)) "needle longer than haystack" None
+    (find "ab" "abc" 0);
+  Alcotest.(check (option int)) "empty needle at from" (Some 3)
+    (find "abc" "" 3);
+  Alcotest.(check (option int)) "empty needle past end" None
+    (find "abc" "" 4);
+  Alcotest.(check (option int)) "negative from clamps" (Some 0)
+    (find "abc" "a" (-2));
+  Alcotest.(check (option int)) "at end" (Some 3) (find "xyzab" "ab" 0)
+
+(* KMP against the obvious quadratic reference on random inputs. *)
+let naive_find haystack needle from =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i > hl - nl then None
+    else if String.sub haystack i nl = needle then Some i
+    else go (i + 1)
+  in
+  go (Int.max from 0)
+
+let qcheck_find_substring =
+  let ab_string n =
+    QCheck.(string_gen_of_size (Gen.int_bound n) (Gen.oneofl [ 'a'; 'b' ]))
+  in
+  QCheck.Test.make ~count:500 ~name:"find_substring matches naive search"
+    QCheck.(triple (ab_string 40) (ab_string 4) (int_bound 45))
+    (fun (haystack, needle, from) ->
+      Static_lint.find_substring haystack needle from
+      = naive_find haystack needle from)
+
+(* ------------------------------------------------------------------ *)
+(* Suppression parser round-trip (qcheck).                             *)
+
+let rule_subset_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 (List.length Rules.all) in
+    let* shuffled = shuffle_l Rules.all in
+    return (List.filteri (fun i _ -> i < n) shuffled))
+
+let sep_gen = QCheck.Gen.oneofl [ ", "; ","; " "; " , " ]
+
+let suppression_line_gen =
+  QCheck.Gen.(
+    let* rules = rule_subset_gen in
+    let* sep = sep_gen in
+    let* trailer = oneofl [ ""; " let x = 1"; " R1 R2" ] in
+    let spec = String.concat sep (List.map Rules.id rules) in
+    return (rules, Printf.sprintf "(* lint: allow %s *)%s" spec trailer))
+
+let qcheck_suppression_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"suppression spec round-trips"
+    (QCheck.make suppression_line_gen
+       ~print:(fun (_, line) -> line))
+    (fun (rules, line) ->
+      match Static_lint.parse_suppression_line line with
+      | Some (Static_lint.Only parsed) -> parsed = rules
+      | Some Static_lint.All | None -> false)
+
+let test_suppression_parser_edges () =
+  let parse = Static_lint.parse_suppression_line in
+  (match parse "(* lint: allow all *)" with
+  | Some Static_lint.All -> ()
+  | _ -> Alcotest.fail "allow all");
+  (match parse "(* lint: allow ALL, R3 *)" with
+  | Some Static_lint.All -> ()
+  | _ -> Alcotest.fail "all wins case-insensitively");
+  (* Rule ids after the comment terminator must not count. *)
+  (match parse "(* lint: allow R3 *) r7_subs R10" with
+  | Some (Static_lint.Only [ Rules.R3 ]) -> ()
+  | _ -> Alcotest.fail "ids after *) must be ignored");
+  (match parse "let x = 1 (* no marker here *)" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unmarked line");
+  (* Unknown ids alone do not create a suppression. *)
+  (match parse "(* lint: allow R42 *)" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unknown ids rejected");
+  (* Mixed known and unknown keeps the known ones. *)
+  (match parse "(* lint: allow R42, R9 *)" with
+  | Some (Static_lint.Only [ Rules.R9 ]) -> ()
+  | _ -> Alcotest.fail "known ids survive unknown neighbours")
+
 let test_r6_multicore_primitives () =
   let src = "let go f = Domain.join (Domain.spawn f)" in
   check_rules "Domain flagged in lib" [ "R6"; "R6" ]
@@ -153,7 +274,7 @@ let test_rule_ids () =
       | None -> Alcotest.fail "of_id failed on own id")
     Rules.all;
   Alcotest.(check bool) "case-insensitive" true (Rules.of_id "r3" = Some Rules.R3);
-  Alcotest.(check bool) "unknown rejected" true (Rules.of_id "R9" = None)
+  Alcotest.(check bool) "unknown rejected" true (Rules.of_id "R42" = None)
 
 (* The repo itself must be clean: the same invocation the @lint alias
    runs, as a tier-1 test. *)
@@ -300,6 +421,42 @@ let test_trace_window_discipline () =
   Alcotest.(check (list string)) "legal window accepted" []
     (invariants (Trace_lint.check cfg in_window))
 
+(* Window_closed indices must arrive 1, 2, 3, ...: a skipped, repeated
+   or out-of-order index means the engine's window counter and the
+   trace disagree. *)
+let test_trace_window_indices () =
+  let cfg = config ~n:3 ~t:1 ~windowed:true () in
+  Alcotest.(check (list string)) "skipped index flagged" [ "window" ]
+    (invariants
+       (Trace_lint.check cfg [ Dsim.Trace.Window_closed { index = 2 } ]));
+  Alcotest.(check (list string)) "repeated index flagged" [ "window" ]
+    (invariants
+       (Trace_lint.check cfg
+          [
+            Dsim.Trace.Window_closed { index = 1 };
+            Dsim.Trace.Window_closed { index = 1 };
+          ]));
+  Alcotest.(check (list string)) "sequential indices accepted" []
+    (invariants
+       (Trace_lint.check cfg
+          [
+            Dsim.Trace.Window_closed { index = 1 };
+            Dsim.Trace.Window_closed { index = 2 };
+            Dsim.Trace.Window_closed { index = 3 };
+          ]));
+  (* A message that skips a whole window is just as stale as one
+     crossing a single boundary. *)
+  Alcotest.(check (list string)) "delivery two windows late flagged"
+    [ "window" ]
+    (invariants
+       (Trace_lint.check cfg
+          [
+            sent ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+            Dsim.Trace.Window_closed { index = 1 };
+            Dsim.Trace.Window_closed { index = 2 };
+            delivered ~src:0 ~dst:1 ~msg_id:1 ~depth:1;
+          ]))
+
 let test_trace_quorum () =
   let cfg = config ~n:3 ~t:1 ~quorum:2 () in
   let premature =
@@ -398,6 +555,12 @@ let suite =
     Alcotest.test_case "R3 polymorphic compare" `Quick test_r3_polymorphic_compare;
     Alcotest.test_case "R4 float equality" `Quick test_r4_float_equality;
     Alcotest.test_case "R5 printing" `Quick test_r5_printing;
+    Alcotest.test_case "R5 ambient channels" `Quick test_r5_ambient_channels;
+    Alcotest.test_case "find_substring" `Quick test_find_substring;
+    QCheck_alcotest.to_alcotest qcheck_find_substring;
+    QCheck_alcotest.to_alcotest qcheck_suppression_roundtrip;
+    Alcotest.test_case "suppression parser edges" `Quick
+      test_suppression_parser_edges;
     Alcotest.test_case "R6 multicore primitives" `Quick test_r6_multicore_primitives;
     Alcotest.test_case "suppression comments" `Quick test_suppression;
     Alcotest.test_case "parse errors reported" `Quick test_parse_error;
@@ -408,6 +571,7 @@ let suite =
     Alcotest.test_case "trace: causal depth" `Quick test_trace_depth_violation;
     Alcotest.test_case "trace: provenance" `Quick test_trace_provenance;
     Alcotest.test_case "trace: window discipline" `Quick test_trace_window_discipline;
+    Alcotest.test_case "trace: window indices" `Quick test_trace_window_indices;
     Alcotest.test_case "trace: quorum" `Quick test_trace_quorum;
     Alcotest.test_case "audit: windowed run" `Quick test_audit_real_windowed_run;
     Alcotest.test_case "audit: stepwise run" `Quick test_audit_real_stepwise_run;

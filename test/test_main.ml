@@ -28,6 +28,7 @@ let () =
       ("properties", Test_properties.suite);
       ("repro", Test_repro.suite);
       ("lint", Test_lint.suite);
+      ("typed-lint", Test_typed_lint.suite);
       ("par-sweep", Test_par_sweep.suite);
       ("syncsim", Test_syncsim.suite);
       ("shmem", Test_shmem.suite);

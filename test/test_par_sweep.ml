@@ -338,6 +338,42 @@ let prop_partial_chunking_invariant =
       Agreement.Ensemble.Partial.equal whole chunked
       && Agreement.Ensemble.Partial.runs whole = List.length seeds)
 
+(* ------------------------------------------------------------------ *)
+(* Sequential fast path: no domain may be spawned when parallelism
+   cannot help.  The spawn tally is cumulative, so each check takes a
+   before/after delta.                                                 *)
+
+let spawn_delta f =
+  let before = Agreement.Par_sweep.spawned_domains () in
+  let result = f () in
+  (result, Agreement.Par_sweep.spawned_domains () - before)
+
+let items = Array.init 100 (fun i -> i)
+
+let sum ?jobs () =
+  Agreement.Par_sweep.map_reduce ?jobs ~merge:( + ) ~init:0 ~f:(fun x -> x * x) items
+
+let expected_sum = Array.fold_left (fun acc x -> acc + (x * x)) 0 items
+
+let test_no_spawn_at_jobs_one () =
+  let result, spawned = spawn_delta (fun () -> sum ~jobs:1 ()) in
+  Alcotest.(check int) "result" expected_sum result;
+  Alcotest.(check int) "no domain spawned" 0 spawned;
+  let result, spawned = spawn_delta (fun () -> sum ()) in
+  Alcotest.(check int) "default jobs result" expected_sum result;
+  Alcotest.(check int) "default jobs spawns nothing" 0 spawned
+
+let test_single_core_fast_path () =
+  (* On a single-core host every jobs value must collapse to the
+     sequential path; on a multicore host jobs > 1 is expected to
+     spawn.  Either way the result is byte-identical. *)
+  let result, spawned = spawn_delta (fun () -> sum ~jobs:4 ()) in
+  Alcotest.(check int) "result identical" expected_sum result;
+  if Domain.recommended_domain_count () = 1 then
+    Alcotest.(check int) "single core: jobs=4 spawns nothing" 0 spawned
+  else
+    Alcotest.(check bool) "multicore: jobs=4 uses domains" true (spawned > 0)
+
 let suite =
   [
     Alcotest.test_case "windowed benign: jobs-invariant" `Quick test_windowed_benign;
@@ -352,6 +388,10 @@ let suite =
       test_all_runs_fail_termination;
     Alcotest.test_case "edge: more jobs than seeds" `Quick test_more_jobs_than_seeds;
     Alcotest.test_case "map_reduce re-raises" `Quick test_map_reduce_exceptions;
+    Alcotest.test_case "fast path: jobs=1 never spawns" `Quick
+      test_no_spawn_at_jobs_one;
+    Alcotest.test_case "fast path: single-core collapse" `Quick
+      test_single_core_fast_path;
     Alcotest.test_case "chunk shapes" `Quick test_chunk;
     Alcotest.test_case "histogram merge: pinned values" `Quick
       test_histogram_merge_pinned;
