@@ -72,6 +72,7 @@ val equal_result : result -> result -> bool
 val run_windowed :
   ?jobs:int ->
   ?lint:bool ->
+  ?track_deliveries:bool ->
   ?lint_fifo:bool ->
   ?lint_quorum:int ->
   protocol:('s, 'm) Dsim.Protocol.t ->
@@ -97,11 +98,17 @@ val run_windowed :
     [lint_fifo] (default true) controls the per-channel FIFO invariant
     — disable it for deferral adversaries that legitimately reorder
     channels.  [lint_quorum] is the minimum number of distinct senders
-    a processor must have heard from before deciding. *)
+    a processor must have heard from before deciding.
+
+    [track_deliveries] (default false) turns on the engine's
+    per-delivery conditioning log ({!Dsim.Engine.recent_deliveries});
+    only the forgetfulness/E9 analyses read it, so plain sweeps leave
+    it off and skip the recording cost. *)
 
 val run_stepwise :
   ?jobs:int ->
   ?lint:bool ->
+  ?track_deliveries:bool ->
   ?lint_fifo:bool ->
   ?lint_quorum:int ->
   protocol:('s, 'm) Dsim.Protocol.t ->
@@ -114,6 +121,7 @@ val run_stepwise :
 val partial_windowed :
   ?jobs:int ->
   ?lint:bool ->
+  ?track_deliveries:bool ->
   ?lint_fifo:bool ->
   ?lint_quorum:int ->
   protocol:('s, 'm) Dsim.Protocol.t ->
@@ -128,6 +136,7 @@ val partial_windowed :
 val partial_stepwise :
   ?jobs:int ->
   ?lint:bool ->
+  ?track_deliveries:bool ->
   ?lint_fifo:bool ->
   ?lint_quorum:int ->
   protocol:('s, 'm) Dsim.Protocol.t ->

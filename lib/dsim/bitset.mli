@@ -1,0 +1,34 @@
+(** Fixed-capacity bitsets over pids [0 .. capacity-1].
+
+    Backing store for {!Window}'s receive-set masks: membership is O(1)
+    and population counts are O(capacity / word-size), which is what
+    makes the engine's delivery loop and fault-free checks cheap.
+    Out-of-range queries are total: [mem] answers [false] rather than
+    raising, because windows may legally mention pids outside [0, n)
+    (validation reports them; application just never matches them). *)
+
+type t
+
+val create : capacity:int -> t
+(** Empty set over [0 .. capacity-1].  Raises [Invalid_argument] on a
+    negative capacity. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+(** O(1); [false] for any [i] outside [0, capacity). *)
+
+val add : t -> int -> unit
+(** Raises [Invalid_argument] outside [0, capacity). *)
+
+val of_list : capacity:int -> int list -> t
+(** Builds a set from a pid list, silently skipping out-of-range
+    elements (callers keep the original list when they need to detect
+    them, cf. {!Window.validate}). *)
+
+val cardinal : t -> int
+val cardinal_below : t -> int -> int
+(** [cardinal_below t limit] is [|t ∩ \[0, limit)|]. *)
+
+val to_list : t -> int list
+(** Ascending. *)

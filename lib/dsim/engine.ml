@@ -9,17 +9,22 @@ type ('s, 'm) t = {
   reset_counts : int array;
   receive_depths : int array;
   rngs : Prng.Stream.t array;
-  recent_deliveries : string list array;
-      (* per processor, reverse-chronological "src:payload" strings for
+  track_deliveries : bool;
+      (* when off (the default), the per-delivery conditioning log below
+         is not recorded and sweeps skip its allocations entirely *)
+  recent_deliveries : (int * 'm) list array;
+      (* per processor, reverse-chronological (src, payload) pairs for
          messages delivered since its last message-emitting send — the
-         conditioning data of Definition 15 (forgetfulness) *)
+         conditioning data of Definition 15 (forgetfulness).  Rendered
+         to "src:payload" strings lazily, in [recent_deliveries]. *)
   mutable next_msg_id : int;
   mutable step_index : int;
   mutable window_index : int;
   trace : Trace.t;
 }
 
-let init ~protocol ~n ~fault_bound ~inputs ~seed ?(record_events = false) () =
+let init ~protocol ~n ~fault_bound ~inputs ~seed ?(record_events = false)
+    ?(track_deliveries = false) () =
   if Array.length inputs <> n then invalid_arg "Engine.init: |inputs| <> n";
   if n <= 0 then invalid_arg "Engine.init: n must be positive";
   if fault_bound < 0 || fault_bound >= n then
@@ -40,6 +45,7 @@ let init ~protocol ~n ~fault_bound ~inputs ~seed ?(record_events = false) () =
     reset_counts = Array.make n 0;
     receive_depths = Array.make n 0;
     rngs;
+    track_deliveries;
     recent_deliveries = Array.make n [];
     next_msg_id = 0;
     step_index = 0;
@@ -83,7 +89,13 @@ let step_index t = t.step_index
 let window_index t = t.window_index
 let trace t = t.trace
 let receive_depth t p = t.receive_depths.(p)
-let recent_deliveries t p = t.recent_deliveries.(p)
+let deliveries_tracked t = t.track_deliveries
+
+let recent_deliveries t p =
+  List.map
+    (fun (src, payload) ->
+      Format.asprintf "%d:%a" src t.protocol.Protocol.pp_message payload)
+    t.recent_deliveries.(p)
 let max_chain_depth t = Array.fold_left max 0 t.receive_depths
 
 let decided_values t =
@@ -108,7 +120,13 @@ let decision_conflict t =
 
 let state_cores t = Array.map t.protocol.Protocol.state_core t.states
 
-let fingerprint t = String.concat "|" (Array.to_list (state_cores t))
+let fingerprint t =
+  let b = Buffer.create (32 * t.n) in
+  for p = 0 to t.n - 1 do
+    if p > 0 then Buffer.add_char b '|';
+    Buffer.add_string b (t.protocol.Protocol.state_core t.states.(p))
+  done;
+  Buffer.contents b
 
 (* Record a decision event when a state transition wrote the output bit. *)
 let note_decision t p before_output =
@@ -132,7 +150,8 @@ let do_send t p =
     (* A sending step that actually emits messages is a "sending event"
        in the sense of Definition 15: it completes the response to the
        deliveries accumulated so far. *)
-    if not (List.is_empty messages) then t.recent_deliveries.(p) <- [];
+    if t.track_deliveries && not (List.is_empty messages) then
+      t.recent_deliveries.(p) <- [];
     List.iter
       (fun (dst, payload) ->
         if dst < 0 || dst >= t.n then invalid_arg "Engine: protocol sent out of range";
@@ -166,10 +185,10 @@ let do_deliver t id =
           t.protocol.Protocol.on_deliver t.states.(dst) ~src:envelope.Envelope.src
             envelope.Envelope.payload t.rngs.(dst);
         t.receive_depths.(dst) <- max t.receive_depths.(dst) envelope.Envelope.depth;
-        t.recent_deliveries.(dst) <-
-          Format.asprintf "%d:%a" envelope.Envelope.src
-            t.protocol.Protocol.pp_message envelope.Envelope.payload
-          :: t.recent_deliveries.(dst);
+        if t.track_deliveries then
+          t.recent_deliveries.(dst) <-
+            (envelope.Envelope.src, envelope.Envelope.payload)
+            :: t.recent_deliveries.(dst);
         Trace.record t.trace
           (Trace.Delivered
              {
@@ -185,7 +204,7 @@ let do_reset t p =
   if not t.crashed.(p) then begin
     t.states.(p) <- t.protocol.Protocol.on_reset t.states.(p);
     t.reset_counts.(p) <- t.reset_counts.(p) + 1;
-    t.recent_deliveries.(p) <- [];
+    if t.track_deliveries then t.recent_deliveries.(p) <- [];
     Trace.record t.trace (Trace.Reset_done { pid = p })
   end
 
@@ -217,38 +236,30 @@ let apply_window t ?(drop_undelivered = true) window =
     apply t (Step.Send p)
   done;
   let fresh_to = t.next_msg_id in
-  let is_fresh e = e.Envelope.id >= fresh_from && e.Envelope.id < fresh_to in
   (* Phase 2: each processor i receives the just-sent messages from S_i,
-     in ascending (sender, id) order — "some fixed order".  Receive-set
-     membership is precomputed so the window costs O(n^2), not O(n^4). *)
-  let allowed =
-    Array.init t.n (fun dst ->
-        let flags = Array.make t.n false in
-        List.iter
-          (fun s -> if s >= 0 && s < t.n then flags.(s) <- true)
-          (Window.receive_set window dst);
-        flags)
-  in
-  let per_dst = Array.make t.n [] in
-  List.iter
-    (fun e -> if is_fresh e then per_dst.(e.Envelope.dst) <- e :: per_dst.(e.Envelope.dst))
-    (Mailbox.pending t.mailbox);
+     in ascending (sender, id) order — "some fixed order".  The mailbox's
+     per-destination queues and the window's receive-set masks make this
+     a single allocation-free walk per processor. *)
   for dst = 0 to t.n - 1 do
-    List.iter
-      (fun e -> if allowed.(dst).(e.Envelope.src) then apply t (Step.Deliver e.Envelope.id))
-      (List.rev per_dst.(dst))
+    Mailbox.iter_for t.mailbox ~dst (fun e ->
+        let id = e.Envelope.id in
+        if
+          id >= fresh_from && id < fresh_to
+          && Window.allows window ~dst ~src:e.Envelope.src
+        then apply t (Step.Deliver id))
   done;
   (* Undelivered fresh messages can never legally be delivered by a
-     later window, so clear them out. *)
-  if drop_undelivered then begin
-    let stale = Mailbox.filter_ids t.mailbox is_fresh in
-    List.iter (fun id -> apply t (Step.Drop id)) stale
-  end;
+     later window, so clear them out (ids are dense, so probe the
+     window's own id range directly). *)
+  if drop_undelivered then
+    for id = fresh_from to fresh_to - 1 do
+      if Mailbox.mem t.mailbox id then apply t (Step.Drop id)
+    done;
   (* Phase 3: at most t resetting steps. *)
   List.iter (fun p -> apply t (Step.Reset p)) window.Window.resets;
   t.window_index <- t.window_index + 1;
   Trace.record t.trace (Trace.Window_closed { index = t.window_index })
 
 let deliver_all_pending t ~dst =
-  let ids = Mailbox.filter_ids t.mailbox (fun e -> e.Envelope.dst = dst) in
-  List.iter (fun id -> apply t (Step.Deliver id)) ids
+  Mailbox.iter_for t.mailbox ~dst (fun e ->
+      apply t (Step.Deliver e.Envelope.id))

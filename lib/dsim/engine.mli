@@ -20,10 +20,14 @@ val init :
   inputs:bool array ->
   seed:int ->
   ?record_events:bool ->
+  ?track_deliveries:bool ->
   unit ->
   ('s, 'm) t
 (** Fresh configuration; every processor's outbox holds its initial
-    messages (not yet sent: the first [Send] steps flush them). *)
+    messages (not yet sent: the first [Send] steps flush them).
+    [track_deliveries] (default [false]) turns on the per-delivery
+    conditioning log behind {!recent_deliveries}; leave it off for
+    plain sweeps so the hot loop records nothing. *)
 
 val copy : ('s, 'm) t -> ('s, 'm) t
 (** Deep copy: future steps on the copy do not affect the original.
@@ -53,12 +57,17 @@ val trace : ('s, 'm) t -> Trace.t
 val receive_depth : ('s, 'm) t -> int -> int
 (** Maximum causal depth among messages this processor has received. *)
 
+val deliveries_tracked : ('s, 'm) t -> bool
+(** Whether this configuration records the {!recent_deliveries} log. *)
+
 val recent_deliveries : ('s, 'm) t -> int -> string list
 (** Canonical "src:payload" strings of the messages delivered to this
     processor since its last message-emitting sending step (cleared by
     resets), most recent first.  This is exactly the data a forgetful
     algorithm (Definition 15) may condition its next messages on; the
-    classifier keys on it. *)
+    classifier keys on it.  The strings are rendered on demand from the
+    recorded (src, payload) pairs; always [[]] unless the configuration
+    was created with [~track_deliveries:true]. *)
 
 val max_chain_depth : ('s, 'm) t -> int
 

@@ -1,41 +1,281 @@
-module Int_map = Map.Make (Int)
+(* The buffer is a growable slot array indexed by message id (ids are
+   issued densely by the engine, so [slots.(id - base)] is a direct
+   probe), threaded with per-destination intrusive doubly-linked queues
+   in ascending-id order.  That keeps [add]/[take]/[find]/
+   [replace_payload] O(1) on the engine's workload and lets the
+   delivery loop walk exactly the envelopes of one destination
+   ([iter_for]) with no intermediate lists.
 
-type 'm t = { mutable by_id : 'm Envelope.t Int_map.t }
+   Invariants:
+   - an id is pending iff [lo <= id - base < hi] and the slot is
+     [Some node] with [node.env.id = id];
+   - [lo]/[hi] bracket the occupied region ([lo = hi = 0] when empty);
+   - for every dst >= 0, [heads.(dst)]/[tails.(dst)] delimit a list
+     linked through [node.prev]/[node.next] (ids, -1 for none) that
+     holds exactly the pending envelopes for [dst], ascending id;
+   - envelopes with a negative dst (never produced by the engine, which
+     range-checks sends) are stored outside any queue. *)
 
-let create () = { by_id = Int_map.empty }
+type 'm node = {
+  mutable env : 'm Envelope.t;
+  mutable prev : int;
+  mutable next : int;
+}
 
-let copy t = { by_id = t.by_id }
+type 'm t = {
+  mutable slots : 'm node option array;
+  mutable base : int;  (* id mapped to slots.(0) *)
+  mutable lo : int;  (* relative index: occupied region is [lo, hi) *)
+  mutable hi : int;
+  mutable size : int;
+  mutable heads : int array;
+  mutable tails : int array;
+}
+
+let create () =
+  {
+    slots = [||];
+    base = 0;
+    lo = 0;
+    hi = 0;
+    size = 0;
+    heads = [||];
+    tails = [||];
+  }
+
+let copy t =
+  let span = t.hi - t.lo in
+  let slots = Array.make span None in
+  for r = 0 to span - 1 do
+    match t.slots.(t.lo + r) with
+    | None -> ()
+    | Some n ->
+        slots.(r) <- Some { env = n.env; prev = n.prev; next = n.next }
+  done;
+  {
+    slots;
+    base = t.base + t.lo;
+    lo = 0;
+    hi = span;
+    size = t.size;
+    heads = Array.copy t.heads;
+    tails = Array.copy t.tails;
+  }
+
+let node_at t id =
+  let rel = id - t.base in
+  if rel < t.lo || rel >= t.hi then None else t.slots.(rel)
+
+(* Internal: only called on ids known pending. *)
+let get_node t id =
+  match node_at t id with Some n -> n | None -> assert false
+
+(* Make [slots.(id - base)] addressable, compacting the live span (and
+   advancing [base]) or growing as needed. *)
+let ensure_slot t id =
+  let cap = Array.length t.slots in
+  if t.size = 0 then begin
+    if cap = 0 then t.slots <- Array.make 64 None;
+    t.base <- id;
+    t.lo <- 0;
+    t.hi <- 0
+  end
+  else begin
+    let rel = id - t.base in
+    if rel < 0 || rel >= cap then begin
+      let new_base = min (t.base + t.lo) id in
+      let span = max (t.base + t.hi) (id + 1) - new_base in
+      let new_cap =
+        let c = ref (max cap 64) in
+        while !c < span do
+          c := !c * 2
+        done;
+        !c
+      in
+      let slots = Array.make new_cap None in
+      Array.blit t.slots t.lo slots (t.base + t.lo - new_base) (t.hi - t.lo);
+      t.slots <- slots;
+      t.lo <- t.base + t.lo - new_base;
+      t.hi <- t.base + t.hi - new_base;
+      t.base <- new_base
+    end
+  end
+
+let ensure_dst t dst =
+  let len = Array.length t.heads in
+  if dst >= len then begin
+    let new_len = max (dst + 1) (max 8 (len * 2)) in
+    let heads = Array.make new_len (-1) and tails = Array.make new_len (-1) in
+    Array.blit t.heads 0 heads 0 len;
+    Array.blit t.tails 0 tails 0 len;
+    t.heads <- heads;
+    t.tails <- tails
+  end
+
+(* Splice [node] into dst's queue keeping ascending-id order.  The
+   engine issues ids monotonically, so the common case is an O(1)
+   append after [tail]; out-of-order ids (hand-built tests) walk
+   backwards to their slot. *)
+let enqueue t dst id node =
+  ensure_dst t dst;
+  let tail = t.tails.(dst) in
+  if tail < 0 then begin
+    t.heads.(dst) <- id;
+    t.tails.(dst) <- id
+  end
+  else if tail < id then begin
+    (get_node t tail).next <- id;
+    node.prev <- tail;
+    t.tails.(dst) <- id
+  end
+  else begin
+    let cur = ref tail in
+    while !cur >= 0 && !cur > id do
+      cur := (get_node t !cur).prev
+    done;
+    if !cur < 0 then begin
+      let head = t.heads.(dst) in
+      node.next <- head;
+      (get_node t head).prev <- id;
+      t.heads.(dst) <- id
+    end
+    else begin
+      let pred = get_node t !cur in
+      node.prev <- !cur;
+      node.next <- pred.next;
+      (get_node t pred.next).prev <- id;
+      pred.next <- id
+    end
+  end
 
 let add t envelope =
-  if Int_map.mem envelope.Envelope.id t.by_id then
-    invalid_arg "Mailbox.add: duplicate message id";
-  t.by_id <- Int_map.add envelope.Envelope.id envelope t.by_id
+  let id = envelope.Envelope.id in
+  (match node_at t id with
+  | Some _ -> invalid_arg "Mailbox.add: duplicate message id"
+  | None -> ());
+  ensure_slot t id;
+  let node = { env = envelope; prev = -1; next = -1 } in
+  let rel = id - t.base in
+  t.slots.(rel) <- Some node;
+  if t.size = 0 then begin
+    t.lo <- rel;
+    t.hi <- rel + 1
+  end
+  else begin
+    if rel < t.lo then t.lo <- rel;
+    if rel + 1 > t.hi then t.hi <- rel + 1
+  end;
+  t.size <- t.size + 1;
+  let dst = envelope.Envelope.dst in
+  if dst >= 0 then enqueue t dst id node
+
+let unlink t node =
+  let dst = node.env.Envelope.dst in
+  if dst >= 0 then begin
+    if node.prev >= 0 then (get_node t node.prev).next <- node.next
+    else t.heads.(dst) <- node.next;
+    if node.next >= 0 then (get_node t node.next).prev <- node.prev
+    else t.tails.(dst) <- node.prev
+  end
 
 let take t id =
-  match Int_map.find_opt id t.by_id with
+  match node_at t id with
   | None -> None
-  | Some envelope ->
-      t.by_id <- Int_map.remove id t.by_id;
-      Some envelope
+  | Some node ->
+      unlink t node;
+      t.slots.(id - t.base) <- None;
+      t.size <- t.size - 1;
+      if t.size = 0 then begin
+        t.lo <- 0;
+        t.hi <- 0
+      end
+      else begin
+        while
+          t.lo < t.hi
+          && (match t.slots.(t.lo) with None -> true | Some _ -> false)
+        do
+          t.lo <- t.lo + 1
+        done;
+        while
+          t.hi > t.lo
+          && (match t.slots.(t.hi - 1) with None -> true | Some _ -> false)
+        do
+          t.hi <- t.hi - 1
+        done
+      end;
+      Some node.env
 
-let find t id = Int_map.find_opt id t.by_id
+let find t id =
+  match node_at t id with None -> None | Some node -> Some node.env
+
+let mem t id =
+  match node_at t id with None -> false | Some _ -> true
 
 let replace_payload t id payload =
-  match Int_map.find_opt id t.by_id with
+  match node_at t id with
   | None -> false
-  | Some envelope ->
-      t.by_id <- Int_map.add id { envelope with Envelope.payload } t.by_id;
+  | Some node ->
+      node.env <- { node.env with Envelope.payload };
       true
 
-let size t = Int_map.cardinal t.by_id
-let is_empty t = Int_map.is_empty t.by_id
+let size t = t.size
+let is_empty t = t.size = 0
 
-let pending t = List.map snd (Int_map.bindings t.by_id)
+let pending t =
+  let acc = ref [] in
+  for r = t.hi - 1 downto t.lo do
+    match t.slots.(r) with Some n -> acc := n.env :: !acc | None -> ()
+  done;
+  !acc
 
-let pending_for t ~dst = List.filter (fun e -> e.Envelope.dst = dst) (pending t)
-let pending_from t ~src = List.filter (fun e -> e.Envelope.src = src) (pending t)
-let pending_ids t = List.map fst (Int_map.bindings t.by_id)
+let pending_ids t =
+  let acc = ref [] in
+  for r = t.hi - 1 downto t.lo do
+    match t.slots.(r) with
+    | Some n -> acc := n.env.Envelope.id :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let pending_for t ~dst =
+  if dst < 0 then
+    List.filter (fun e -> e.Envelope.dst = dst) (pending t)
+  else if dst >= Array.length t.heads then []
+  else begin
+    let rec walk id acc =
+      if id < 0 then List.rev acc
+      else
+        let n = get_node t id in
+        walk n.next (n.env :: acc)
+    in
+    walk t.heads.(dst) []
+  end
+
+let pending_from t ~src =
+  let acc = ref [] in
+  for r = t.hi - 1 downto t.lo do
+    match t.slots.(r) with
+    | Some n when n.env.Envelope.src = src -> acc := n.env :: !acc
+    | Some _ | None -> ()
+  done;
+  !acc
 
 let filter_ids t f =
-  Int_map.fold (fun id e acc -> if f e then id :: acc else acc) t.by_id []
-  |> List.rev
+  let acc = ref [] in
+  for r = t.hi - 1 downto t.lo do
+    match t.slots.(r) with
+    | Some n when f n.env -> acc := n.env.Envelope.id :: !acc
+    | Some _ | None -> ()
+  done;
+  !acc
+
+let iter_for t ~dst f =
+  if dst < 0 then List.iter f (pending_for t ~dst)
+  else if dst < Array.length t.heads then begin
+    let cur = ref t.heads.(dst) in
+    while !cur >= 0 do
+      let node = get_node t !cur in
+      cur := node.next;
+      f node.env
+    done
+  end

@@ -2,7 +2,12 @@
 
     Sent messages sit here until the adversary schedules their delivery
     (or drops them, when it is entitled to).  Iteration order is always
-    ascending message id, so executions are fully deterministic. *)
+    ascending message id, so executions are fully deterministic.
+
+    Internally a growable slot array indexed by message id (the engine
+    issues ids densely, so probes are O(1)) threaded with
+    per-destination intrusive queues; the list-returning accessors are
+    derived views built in a single pass. *)
 
 type 'm t
 
@@ -16,6 +21,9 @@ val take : 'm t -> int -> 'm Envelope.t option
 (** Remove and return the envelope with the given id. *)
 
 val find : 'm t -> int -> 'm Envelope.t option
+
+val mem : 'm t -> int -> bool
+(** [mem t id] iff a message with this id is pending — O(1). *)
 
 val replace_payload : 'm t -> int -> 'm -> bool
 (** Byzantine corruption hook: rewrite a pending message in place.
@@ -33,3 +41,10 @@ val pending_ids : 'm t -> int list
 
 val filter_ids : 'm t -> ('m Envelope.t -> bool) -> int list
 (** Ids of pending envelopes satisfying the predicate, ascending. *)
+
+val iter_for : 'm t -> dst:int -> ('m Envelope.t -> unit) -> unit
+(** Visit the pending envelopes addressed to [dst] in ascending-id
+    order, allocation-free.  The callback may {!take} (or {!mem},
+    {!find}, {!replace_payload}) the envelope it is visiting — the
+    engine's delivery loop does — but must not {!add} to this mailbox
+    while the iteration runs. *)

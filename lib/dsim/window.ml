@@ -1,16 +1,57 @@
-type t = { receive_sets : int list array; resets : int list }
+(* Pids at or above this bound are never packed into a mask (it caps
+   mask allocation when a window mentions an absurd pid); [allows] and
+   [validate] fall back to the stored lists past it, so behaviour stays
+   exact at any pid. *)
+let mask_clamp = 0x10000
+
+type t = {
+  receive_sets : int list array;
+  resets : int list;
+  masks : Bitset.t array;
+  sizes : int array;
+  reset_count : int;
+}
 
 let normalize xs = List.sort_uniq Int.compare xs
 
+let mask_of_set s =
+  let capacity =
+    List.fold_left
+      (fun acc p -> if p >= 0 && p < mask_clamp then max acc (p + 1) else acc)
+      0 s
+  in
+  Bitset.of_list ~capacity s
+
+(* Shared constructor: [receive_sets]/[resets] must already be
+   normalized; masks and cached sizes are derived here so every
+   published window carries them. *)
+let build ~receive_sets ~resets =
+  {
+    receive_sets;
+    resets;
+    masks = Array.map mask_of_set receive_sets;
+    sizes = Array.map List.length receive_sets;
+    reset_count = List.length resets;
+  }
+
 let make ~receive_sets ~resets =
-  { receive_sets = Array.map normalize receive_sets; resets = normalize resets }
+  build ~receive_sets:(Array.map normalize receive_sets)
+    ~resets:(normalize resets)
 
 let all_pids n = List.init n (fun i -> i)
 
 let uniform ~n ?(silenced = []) ?(resets = []) () =
   let silenced = normalize silenced in
   let s = List.filter (fun p -> not (List.mem p silenced)) (all_pids n) in
-  { receive_sets = Array.make n s; resets = normalize resets }
+  (* Every processor shares one receive set, so share one mask too. *)
+  let mask = mask_of_set s in
+  {
+    receive_sets = Array.make n s;
+    resets = normalize resets;
+    masks = Array.make n mask;
+    sizes = Array.make n (List.length s);
+    reset_count = List.length resets;
+  }
 
 let hybrid ~n ~j ~s0 ~s1 ~r0 ~r1 =
   let s0 = normalize s0 and s1 = normalize s1 in
@@ -18,28 +59,38 @@ let hybrid ~n ~j ~s0 ~s1 ~r0 ~r1 =
   let resets =
     normalize (List.filter (fun p -> p < j) r0 @ List.filter (fun p -> p >= j) r1)
   in
-  { receive_sets; resets }
+  build ~receive_sets ~resets
+
+(* True iff [receive_sets.(i)] mentions a pid outside [0, n).  With the
+   cached size and mask this is a popcount, not a list walk: the mask
+   holds exactly the non-negative in-clamp members, so the set is clean
+   iff all [sizes.(i)] members land in the mask below [n]. *)
+let has_out_of_range w i ~n =
+  if n <= mask_clamp then w.sizes.(i) <> Bitset.cardinal_below w.masks.(i) n
+  else List.exists (fun p -> p < 0 || p >= n) w.receive_sets.(i)
 
 let validate ~n ~t w =
   let in_range p = p >= 0 && p < n in
-  let check_set i s =
-    if List.exists (fun p -> not (in_range p)) s then
+  let check_set i =
+    if has_out_of_range w i ~n then
       Error (Printf.sprintf "S_%d contains an out-of-range pid" i)
-    else if List.length s < n - t then
-      Error (Printf.sprintf "S_%d has %d senders; need >= n - t = %d" i (List.length s) (n - t))
+    else if w.sizes.(i) < n - t then
+      Error
+        (Printf.sprintf "S_%d has %d senders; need >= n - t = %d" i w.sizes.(i)
+           (n - t))
     else Ok ()
   in
   if Array.length w.receive_sets <> n then
     Error (Printf.sprintf "window has %d receive sets; need %d" (Array.length w.receive_sets) n)
-  else if List.length w.resets > t then
-    Error (Printf.sprintf "window resets %d processors; at most t = %d allowed" (List.length w.resets) t)
+  else if w.reset_count > t then
+    Error (Printf.sprintf "window resets %d processors; at most t = %d allowed" w.reset_count t)
   else if List.exists (fun p -> not (in_range p)) w.resets then
     Error "reset set contains an out-of-range pid"
   else
     let rec check i =
       if i >= n then Ok ()
       else
-        match check_set i w.receive_sets.(i) with
+        match check_set i with
         | Error _ as e -> e
         | Ok () -> check (i + 1)
     in
@@ -47,9 +98,12 @@ let validate ~n ~t w =
 
 let receive_set w i = w.receive_sets.(i)
 
+let allows w ~dst ~src =
+  if src < mask_clamp then Bitset.mem w.masks.(dst) src
+  else List.mem src w.receive_sets.(dst)
+
 let is_fault_free w ~n =
-  List.length w.resets = 0
-  && Array.for_all (fun s -> List.length s = n) w.receive_sets
+  w.reset_count = 0 && Array.for_all (fun size -> size = n) w.sizes
 
 let pp ppf w =
   let pp_list ppf l =

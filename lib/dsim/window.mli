@@ -5,13 +5,25 @@
     senders in a set [S_i] with [|S_i| >= n - t]; finally at most [t]
     resetting steps occur.  The strongly adaptive adversary is exactly
     the class of adversaries whose infinite executions decompose into
-    adjacent disjoint acceptable windows. *)
+    adjacent disjoint acceptable windows.
 
-type t = {
+    The record is [private]: construct windows through {!make} /
+    {!uniform} / {!hybrid}, which normalize the pid lists and derive the
+    packed views.  The [int list] fields remain the ground truth (they
+    are what {!pp} prints and what out-of-range diagnostics inspect);
+    [masks] and [sizes] are cached projections the engine's delivery
+    loop and the validator read instead of walking lists. *)
+
+type t = private {
   receive_sets : int list array;
       (** [receive_sets.(i)] is [S_i]: the senders whose fresh messages
           processor [i] receives this window.  Sorted, duplicate-free. *)
   resets : int list;  (** The set [R] of processors reset at window end. *)
+  masks : Bitset.t array;
+      (** Derived: [masks.(i)] holds the members of [receive_sets.(i)],
+          for O(1) membership ({!allows}). *)
+  sizes : int array;  (** Derived: [sizes.(i) = List.length receive_sets.(i)]. *)
+  reset_count : int;  (** Derived: [List.length resets]. *)
 }
 
 val make : receive_sets:int list array -> resets:int list -> t
@@ -33,5 +45,14 @@ val validate : n:int -> t:int -> t -> (unit, string) result
     [|S_i| >= n - t], and [|R| <= t]. *)
 
 val receive_set : t -> int -> int list
+
+val allows : t -> dst:int -> src:int -> bool
+(** [allows w ~dst ~src] iff [src >= 0] and [src ∈ S_dst] — O(1),
+    total in [src].  A negative pid answers [false] even when an
+    unvalidated window stores one in [S_dst]: it can never name a
+    sender, which is exactly how the delivery loop always treated it.
+    Raises [Invalid_argument] when [dst] is outside the window's arity,
+    matching {!receive_set}. *)
+
 val is_fault_free : t -> n:int -> bool
 val pp : Format.formatter -> t -> unit

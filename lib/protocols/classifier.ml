@@ -78,7 +78,10 @@ let check protocol ~n ~t ~seeds ~windows_per_run =
       (* Alternate full-delivery windows with silencing windows to vary
          the histories feeding the core table. *)
       let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
-      let config = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+      let config =
+        Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed
+          ~track_deliveries:true ()
+      in
       inspect config;
       for w = 1 to windows_per_run do
         let silenced = if w mod 2 = 0 then List.init t (fun i -> (w + i) mod n) else [] in

@@ -67,6 +67,21 @@ expect 2 "$lint" --typed --root "$fixture_dir"
 rm -rf "$fixture_dir" "$static_bad_dir"
 echo "check: exit-code matrix ok (0 clean / 1 findings / 2 errors)"
 
+echo "check: bench exit-code matrix + --quick regression smoke"
+# scripts/bench.sh mirrors the lint CLI contract: 0 clean, 1 a named
+# group regressed past the threshold, 2 usage/infrastructure error.
+expect 2 ./scripts/bench.sh --no-such-flag
+expect 2 ./scripts/bench.sh --quick --baseline /nonexistent/BASELINE.json
+bench_out=$(mktemp)
+if ./scripts/bench.sh --quick --out "$bench_out"; then
+  echo "check: quick bench within threshold of bench/BASELINE.json"
+else
+  echo "check: FAIL — kernel hot-path groups regressed vs bench/BASELINE.json" >&2
+  rm -f "$bench_out"
+  exit 1
+fi
+rm -f "$bench_out"
+
 echo "check: differential -j smoke (experiments --quick)"
 out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT

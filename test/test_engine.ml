@@ -60,8 +60,10 @@ let toy : (toy_state, string) Dsim.Protocol.t =
     pp_state = (fun ppf s -> Format.pp_print_int ppf s.id);
   }
 
-let make ?(n = 3) ?(t = 1) ?(inputs = [| true; false; true |]) ?(seed = 1) () =
-  Dsim.Engine.init ~protocol:toy ~n ~fault_bound:t ~inputs ~seed ()
+let make ?(n = 3) ?(t = 1) ?(inputs = [| true; false; true |]) ?(seed = 1)
+    ?(track_deliveries = true) () =
+  Dsim.Engine.init ~protocol:toy ~n ~fault_bound:t ~inputs ~seed
+    ~track_deliveries ()
 
 let test_init () =
   let config = make () in

@@ -6,6 +6,7 @@ let () =
       ("mailbox", Test_mailbox.suite);
       ("window", Test_window.suite);
       ("engine", Test_engine.suite);
+      ("kernel-diff", Test_kernel_diff.suite);
       ("runner", Test_runner.suite);
       ("trace", Test_trace.suite);
       ("thresholds", Test_thresholds.suite);
