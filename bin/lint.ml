@@ -2,15 +2,17 @@
 
      lint [--root DIR] [--dir lib --dir bin ...] [--format human|json|sarif]
      lint --typed [--root DIR] [--baseline FILE]
-     lint --check FILE          # both layers on one standalone source
+     lint --cost [--root DIR] [--baseline FILE]
+     lint --check FILE          # all layers on one standalone source
      lint --explain R8
 
    Layer 1 (default) parses every .ml under the selected trees and
    checks the syntactic rules R1-R6.  Layer 2 (--typed) reads the
-   *.cmt typed trees of the built project and checks R7-R10; it
-   requires `dune build` to have run.  Exit codes: 0 clean, 1 rule
-   violations, 2 read/parse/load errors — so either layer can gate CI
-   via `dune build @lint` / `@lint-typed`. *)
+   *.cmt typed trees of the built project and checks R7-R10; layer 3
+   (--cost) reads the same trees and checks the hot-path cost rules
+   R11-R14; both require `dune build` to have run.  Exit codes: 0
+   clean, 1 rule violations, 2 read/parse/load errors — so any layer
+   can gate CI via `dune build @lint` / `@lint-typed` / `@lint-cost`. *)
 
 open Cmdliner
 
@@ -40,9 +42,9 @@ let with_baseline baseline report =
               file;
           Ok report)
 
-(* Both layers on a single standalone source file: the syntactic pass,
-   then an in-memory typecheck for R7-R10.  Used by fixtures and the
-   check.sh exit-code matrix; no cmt files needed. *)
+(* All layers on a single standalone source file: the syntactic pass,
+   then an in-memory typecheck for R7-R10 and R11-R14.  Used by
+   fixtures and the check.sh exit-code matrix; no cmt files needed. *)
 let check_file format file =
   match In_channel.with_open_text file In_channel.input_all with
   | exception Sys_error e ->
@@ -55,12 +57,13 @@ let check_file format file =
         | Error e -> Error e
       in
       let typed = Lintkit.Typed_lint.check_source ~path:file source in
+      let cost = Lintkit.Cost_lint.check_source ~path:file source in
       let diagnostics, errors =
         List.fold_left
           (fun (ds, es) -> function
             | Ok d -> (ds @ d, es)
             | Error e -> (ds, es @ [ e ]))
-          ([], []) [ static; typed ]
+          ([], []) [ static; typed; cost ]
       in
       let report =
         {
@@ -73,7 +76,7 @@ let check_file format file =
       render format report;
       exit_code report
 
-let run root dirs format explain typed baseline check =
+let run root dirs format explain typed cost baseline check =
   match explain with
   | Some id -> (
       match Lintkit.Rules.of_id id with
@@ -83,18 +86,23 @@ let run root dirs format explain typed baseline check =
             (Lintkit.Rules.title rule)
             (match Lintkit.Rules.layer rule with
             | `Static -> "syntactic"
-            | `Typed -> "typed")
+            | `Typed -> "typed"
+            | `Cost -> "cost")
             (Lintkit.Rules.describe rule);
           0
       | None ->
-          Format.eprintf "unknown rule %S (expected R1..R10)@." id;
+          Format.eprintf "unknown rule %S (expected R1..R14)@." id;
           2)
   | None -> (
       match check with
       | Some file -> check_file format file
       | None ->
           let report =
-            if typed then
+            if cost then
+              Lintkit.Driver.scan_cost
+                ~dirs:(if dirs = [] then [ "lib" ] else dirs)
+                ~root ()
+            else if typed then
               Lintkit.Driver.scan_typed
                 ~dirs:(if dirs = [] then [ "lib" ] else dirs)
                 ~root ()
@@ -146,6 +154,12 @@ let typed =
                built project instead of the syntactic layer. Requires a \
                prior $(b,dune build).")
 
+let cost =
+  Arg.(value & flag & info [ "cost" ]
+         ~doc:"Run the hot-path cost layer (R11..R14) over the *.cmt trees \
+               of the built project instead of the syntactic layer. \
+               Requires a prior $(b,dune build).")
+
 let baseline =
   Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
          ~doc:"Waive findings listed in FILE (RULE<TAB>PATH<TAB>MESSAGE \
@@ -158,8 +172,12 @@ let check =
                rules via an in-memory typecheck; no cmt files needed).")
 
 let cmd =
-  let doc = "determinism linter (syntactic + typed) for the agreement reproduction" in
+  let doc =
+    "determinism & hot-path linter (syntactic + typed + cost) for the \
+     agreement reproduction"
+  in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run $ root $ dirs $ format $ explain $ typed $ baseline $ check)
+    Term.(const run $ root $ dirs $ format $ explain $ typed $ cost $ baseline
+          $ check)
 
 let () = exit (Cmd.eval' cmd)

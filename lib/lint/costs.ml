@@ -1,0 +1,60 @@
+(* The asymptotic cost lattice of the R11-R14 analyzer.
+
+   Five points ordered by how badly a hot-path operation scales with
+   the system size n:
+
+     Const < Log < Linear < Quadratic < Unknown
+
+   [join] is the least upper bound (sequential composition: the cost of
+   doing A then B).  [nest] bounds running the inner computation once
+   per step of an outer iteration; products that leave the lattice
+   (anything super-quadratic) land on [Unknown], which doubles as "no
+   static bound".  Rounding is always upward, so the analyzer
+   over-approximates and never certifies a hazard as cheap. *)
+
+type t = Const | Log | Linear | Quadratic | Unknown
+
+let all = [ Const; Log; Linear; Quadratic; Unknown ]
+
+let rank = function
+  | Const -> 0
+  | Log -> 1
+  | Linear -> 2
+  | Quadratic -> 3
+  | Unknown -> 4
+
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let leq a b = rank a <= rank b
+
+let bottom = Const
+let top = Unknown
+
+let join a b = if rank a >= rank b then a else b
+
+(* [nest outer inner]: the inner cost paid once per iteration of a
+   structure whose size has the outer cost.  Commutative and monotone
+   in both arguments (test/test_cost_lint.ml checks the laws); not
+   associative, because products are rounded up to the nearest lattice
+   point (log*log -> n, n*log -> n^2) before composing further. *)
+let nest a b =
+  match (a, b) with
+  | Const, x | x, Const -> x
+  | Unknown, _ | _, Unknown -> Unknown
+  | Log, Log -> Linear (* log^2 n <= n *)
+  | Quadratic, _ | _, Quadratic -> Unknown (* super-quadratic *)
+  | Log, Linear | Linear, Log -> Quadratic (* n log n <= n^2 *)
+  | Linear, Linear -> Quadratic
+
+(* [nest_depth d c]: c paid under d nested data-dependent iterations. *)
+let rec nest_depth depth c =
+  if depth <= 0 then c else nest_depth (depth - 1) (nest Linear c)
+
+let to_string = function
+  | Const -> "O(1)"
+  | Log -> "O(log n)"
+  | Linear -> "O(n)"
+  | Quadratic -> "O(n^2)"
+  | Unknown -> "unknown (unbounded or unanalyzable)"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,40 @@
+(** The asymptotic cost lattice of the hot-path analyzer (R11-R14).
+
+    Five points, ordered [Const < Log < Linear < Quadratic < Unknown]:
+    the per-event cost of an operation as a function of the system size
+    [n].  [Unknown] is the top element and doubles as "no static
+    bound" — super-quadratic products land there, so the analysis only
+    ever over-approximates. *)
+
+type t = Const | Log | Linear | Quadratic | Unknown
+
+val all : t list
+(** In lattice order. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+
+val bottom : t
+(** [Const]. *)
+
+val top : t
+(** [Unknown]. *)
+
+val join : t -> t -> t
+(** Least upper bound — the cost of sequential composition.
+    Commutative, associative, idempotent, with [bottom] as identity
+    (qcheck laws in test/test_cost_lint.ml). *)
+
+val nest : t -> t -> t
+(** [nest outer inner] bounds running [inner] once per iteration of a
+    structure of [outer] size.  Commutative, monotone in both
+    arguments, [Const] as identity; products that leave the lattice
+    round up to [Unknown]. *)
+
+val nest_depth : int -> t -> t
+(** [nest_depth d c]: [c] paid under [d] nested data-dependent
+    iterations ([nest Linear] applied [d] times). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

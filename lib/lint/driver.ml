@@ -87,6 +87,29 @@ let scan_typed ?config ?(dirs = [ "lib" ]) ~root () =
       files_scanned = List.length load.units;
     }
 
+(* Cost layer (R11-R14) over the same cmt trees. *)
+
+let scan_cost ?config ?(dirs = [ "lib" ]) ~root () =
+  let cmts = Cmt_loader.find_cmt_files ~dirs ~root () in
+  if cmts = [] then
+    {
+      diagnostics = [];
+      errors =
+        [ Printf.sprintf
+            "no .cmt files found under %S for %s; run `dune build` first \
+             (the cost linter reads _build/default/**/*.cmt)"
+            root
+            (String.concat ", " dirs) ];
+      files_scanned = 0;
+    }
+  else
+    let load = Cmt_loader.load ~dirs ~root () in
+    {
+      diagnostics = Cost_lint.analyze ?config load;
+      errors = load.load_errors;
+      files_scanned = List.length load.units;
+    }
+
 let ok report = report.diagnostics = [] && report.errors = []
 
 (* ------------------------------------------------------------------ *)
@@ -133,10 +156,15 @@ let render_baseline ppf report =
   Format.fprintf ppf
     "# lint baseline: RULE<TAB>PATH<TAB>MESSAGE, one accepted finding per \
      line.@.# Keep a justification comment above every entry.@.";
-  List.iter
-    (fun (d : Static_lint.diagnostic) ->
-      Format.fprintf ppf "%s\t%s\t%s@." (Rules.id d.rule) d.path d.message)
-    report.diagnostics
+  (* Baseline identity drops line numbers, so several diagnostics can
+     collapse onto one entry (e.g. the same re-scan reported at two
+     sites of a function).  Sort on the entry key and deduplicate so
+     the file is stable under re-generation and trivially diffable. *)
+  report.diagnostics
+  |> List.map baseline_key
+  |> List.sort_uniq compare
+  |> List.iter (fun (rule, path, message) ->
+         Format.fprintf ppf "%s\t%s\t%s@." rule path message)
 
 let render_human ppf report =
   List.iter

@@ -40,6 +40,11 @@ val scan_typed :
     [dune build] first — the typed linter never silently passes on an
     unbuilt tree.  [files_scanned] counts loaded compilation units. *)
 
+val scan_cost :
+  ?config:Cost_lint.config -> ?dirs:string list -> root:string -> unit -> report
+(** Run the cost layer (R11-R14) over the same [*.cmt] trees as
+    {!scan_typed}; identical cmt discovery and error behaviour. *)
+
 (** {2 Baselines}
 
     A baseline file accepts known findings: [RULE<TAB>PATH<TAB>MESSAGE]
@@ -59,7 +64,10 @@ val apply_baseline :
 
 val render_baseline : Format.formatter -> report -> unit
 (** Emit the report's diagnostics in baseline syntax (the documented
-    way to seed a baseline file). *)
+    way to seed a baseline file).  Entries are sorted by
+    (rule, path, message) and deduplicated — diagnostics differing only
+    in position collapse to one entry — so regenerating a baseline is
+    deterministic and diff-friendly. *)
 
 val render_human : Format.formatter -> report -> unit
 (** "path:line:col: [Rn] message" lines plus a summary line. *)

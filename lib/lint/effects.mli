@@ -40,6 +40,11 @@ val pp_kind : Format.formatter -> kind -> unit
 val default_exempt_modules : string list
 (** [["Stream"; "Splitmix"]]. *)
 
+val base_ident : Typedtree.expression -> Ident.t option
+(** The root identifier of an expression, looking through field
+    projections ([t.mailbox] -> [t]); [None] for anything else.  Shared
+    with the cost layer's locality judgments. *)
+
 type scan = {
   own : finding list;  (** intraprocedural effects, source order *)
   callees : (Callgraph.fn * Location.t) list;  (** resolved references *)

@@ -1,6 +1,6 @@
-type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13 | R14
 
-let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
+let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13; R14 ]
 
 let id = function
   | R1 -> "R1"
@@ -13,6 +13,10 @@ let id = function
   | R8 -> "R8"
   | R9 -> "R9"
   | R10 -> "R10"
+  | R11 -> "R11"
+  | R12 -> "R12"
+  | R13 -> "R13"
+  | R14 -> "R14"
 
 let of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -26,11 +30,16 @@ let of_id s =
   | "R8" -> Some R8
   | "R9" -> Some R9
   | "R10" -> Some R10
+  | "R11" -> Some R11
+  | "R12" -> Some R12
+  | "R13" -> Some R13
+  | "R14" -> Some R14
   | _ -> None
 
 let layer = function
   | R1 | R2 | R3 | R4 | R5 | R6 -> `Static
   | R7 | R8 | R9 | R10 -> `Typed
+  | R11 | R12 | R13 | R14 -> `Cost
 
 let title = function
   | R1 -> "ambient nondeterminism source"
@@ -43,6 +52,10 @@ let title = function
   | R8 -> "effectful protocol transition"
   | R9 -> "stream used both as derivation parent and draw source"
   | R10 -> "catch-all branch over a protocol message type"
+  | R11 -> "super-constant cost on the per-event hot path"
+  | R12 -> "unbounded allocation in hot code"
+  | R13 -> "quorum/receive-set re-scan in a protocol transition"
+  | R14 -> "eager uniform fan-out materialization"
 
 let describe = function
   | R1 ->
@@ -112,6 +125,46 @@ let describe = function
        protocol keeps typechecking while discarding messages on the \
        floor.  Message dispatch must stay exhaustive by constructor so \
        that adding a message constructor is a compile-surface event."
+  | R11 ->
+      "Code reachable from the per-event hot set (Engine.apply_window, \
+       the Mailbox core operations, window construction, and the \
+       Dsim.Protocol.t transition fields) must cost O(1) per event, or \
+       scaling runs to n in the thousands pay O(n) or worse per message. \
+       The analyzer assigns every function an asymptotic summary over the \
+       cost lattice (O(1)/O(log n)/O(n)/O(n^2)/unknown) by mapping known \
+       stdlib and in-repo primitives through the interprocedural call \
+       graph, with loops and higher-order iterators multiplying their \
+       body's cost and recursion treated as iteration.  Any hot function \
+       whose own body introduces super-constant cost is flagged at the \
+       introducing site, with the hot path from the root.  Declared true \
+       costs (e.g. Mailbox.add is amortized O(1) despite its growth \
+       loops) live in the config's summary overrides."
+  | R12 ->
+      "Allocation on the hot path that scales with the event, not with a \
+       constant: list cons / closures / tuples / records / arrays built \
+       inside a data-dependent loop or iterator, and materializing \
+       primitives (Array.to_list, Map.bindings, List.init/map/filter/ \
+       append, ...) anywhere in hot code.  One constant-size record \
+       update per event is fine; building an n-element list per event is \
+       the GC pressure that blocks n=1000.  Amortized-growth operations \
+       (Buffer.add_*, Hashtbl.add/replace, Mailbox.add) are exempt."
+  | R13 ->
+      "The signature quorum-counting hazard: a fold/filter/length/ \
+       bindings over a message-set structure (a Map/Set/Hashtbl or list \
+       that is not a fresh local allocation) inside code reachable from a \
+       protocol transition.  Every delivered message that triggers such a \
+       re-scan pays O(receive set) — O(n) per event, O(n^2) per quorum — \
+       exactly the pattern incremental quorum counters in the protocol \
+       state must replace (see Protocols.Tally and the Bracha/RBC \
+       counters for the sanctioned shape: counts maintained on receive, \
+       read in O(1) at decision time)."
+  | R14 ->
+      "Eager uniform fan-out: List.init over the system size building one \
+       (destination, message) envelope per processor materializes n \
+       tuples per broadcast — n^2 per all-send round — even when every \
+       destination gets the same payload.  Where a lazy or batched send \
+       is available, use it; where the protocol interface forces a list, \
+       the justification must say so at the site."
 
 type scope = {
   top : [ `Lib | `Bin | `Bench | `Examples | `Other ];
@@ -163,3 +216,9 @@ let applies rule scope =
       match scope.sub with
       | Some ("prng" | "lint") -> false  (* the implementation itself *)
       | _ -> true)
+  | R11 | R12 | R13 | R14 ->
+      (* Membership in the hot set, not the path, decides whether the
+         cost rules fire; the path gate only keeps the linter itself and
+         non-library trees out of scope. *)
+      scope.top = `Lib
+      && (match scope.sub with Some "lint" -> false | _ -> true)

@@ -7,21 +7,24 @@
     (compiler [*.cmt] typed trees, {!Typed_lint}), catching what syntax
     alone cannot: polymorphic comparison hidden behind variables,
     effectful protocol transitions, stream role aliasing, and silently
-    dropped message constructors. *)
+    dropped message constructors.  R11-R14 are the cost layer
+    ({!Cost_lint}): asymptotic per-function summaries over the
+    {!Costs} lattice, reported against the per-event hot set. *)
 
-type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13 | R14
 
 val all : t list
 
 val id : t -> string
-(** "R1" .. "R10". *)
+(** "R1" .. "R14". *)
 
 val of_id : string -> t option
-(** Case-insensitive parse of "R1" .. "R10". *)
+(** Case-insensitive parse of "R1" .. "R14". *)
 
-val layer : t -> [ `Static | `Typed ]
+val layer : t -> [ `Static | `Typed | `Cost ]
 (** Which analysis layer emits the rule: R1-R6 from the syntactic
-    linter, R7-R10 from the cmt-based typed linter. *)
+    linter, R7-R10 from the cmt-based typed linter, R11-R14 from the
+    cmt-based cost analyzer. *)
 
 val title : t -> string
 (** One-line rule name, e.g. "ambient nondeterminism source". *)
@@ -44,4 +47,6 @@ val applies : t -> scope -> bool
     R1 and R5 in [lib/] only; R2 and R6 everywhere; R3, R7 and R10 in
     [lib/dsim], [lib/protocols], [lib/adversary]; R4 in [lib/stats] and
     [lib/lowerbound]; R8 in [lib/]; R9 in [lib/] except [lib/prng] and
-    [lib/lint] (the stream implementation and the linter itself). *)
+    [lib/lint] (the stream implementation and the linter itself);
+    R11-R14 in [lib/] except [lib/lint] — within that gate, membership
+    in the configured hot set decides whether the cost rules fire. *)

