@@ -12,6 +12,16 @@ let create ~capacity =
   { capacity; words = Array.make ((capacity + bits - 1) / bits) 0 }
 
 let capacity t = t.capacity
+let copy t = { capacity = t.capacity; words = Array.copy t.words }
+
+let full ~capacity =
+  if capacity < 0 then invalid_arg "Bitset.full: negative capacity";
+  let t = { capacity; words = Array.make ((capacity + bits - 1) / bits) 0 } in
+  for i = 0 to Array.length t.words - 1 do
+    let hi = min bits (capacity - (i * bits)) in
+    t.words.(i) <- (if hi >= bits then -1 else (1 lsl hi) - 1)
+  done;
+  t
 
 let mem t i =
   i >= 0 && i < t.capacity
@@ -20,6 +30,35 @@ let mem t i =
 let add t i =
   if i < 0 || i >= t.capacity then invalid_arg "Bitset.add: out of range";
   t.words.(i / bits) <- t.words.(i / bits) lor (1 lsl (i mod bits))
+
+let remove t i =
+  if i >= 0 && i < t.capacity then
+    t.words.(i / bits) <- t.words.(i / bits) land lnot (1 lsl (i mod bits))
+
+(* Smallest member >= [i], or -1.  One masked load for the first word,
+   then whole-word skips: O(capacity / word-size) worst case, O(1) on
+   the dense sets the mailbox's broadcast table iterates. *)
+let next_from t i =
+  let i = max i 0 in
+  if i >= t.capacity then -1
+  else begin
+    let nwords = Array.length t.words in
+    let w = ref (i / bits) in
+    let word = ref (t.words.(!w) land lnot ((1 lsl (i mod bits)) - 1)) in
+    while !word = 0 && !w < nwords - 1 do
+      incr w;
+      word := t.words.(!w)
+    done;
+    if !word = 0 then -1
+    else begin
+      let b = ref (!w * bits) and m = ref !word in
+      while !m land 1 = 0 do
+        m := !m lsr 1;
+        incr b
+      done;
+      !b
+    end
+  end
 
 let of_list ~capacity l =
   let t = create ~capacity in

@@ -15,11 +15,25 @@ val create : capacity:int -> t
 
 val capacity : t -> int
 
+val copy : t -> t
+
+val full : capacity:int -> t
+(** All of [0 .. capacity-1].  Backing store for the mailbox's
+    broadcast pending sets, which start full and empty one delivery at
+    a time.  Raises [Invalid_argument] on a negative capacity. *)
+
 val mem : t -> int -> bool
 (** O(1); [false] for any [i] outside [0, capacity). *)
 
 val add : t -> int -> unit
 (** Raises [Invalid_argument] outside [0, capacity). *)
+
+val remove : t -> int -> unit
+(** O(1); a no-op outside [0, capacity). *)
+
+val next_from : t -> int -> int
+(** [next_from t i] is the smallest member [>= i], or [-1] when there
+    is none.  O(capacity / word-size) worst case. *)
 
 val of_list : capacity:int -> int list -> t
 (** Builds a set from a pid list, silently skipping out-of-range

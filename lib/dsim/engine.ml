@@ -143,33 +143,38 @@ let note_decision t p before_output =
            })
   | _, _ -> ()
 
+(* Enqueue one send value: O(1) regardless of fan-out.  A [Unicast]
+   claims the next id; a [Broadcast] reserves n consecutive ids
+   (id = first + dst, the order an eager expansion would assign) but
+   stores the payload once in the mailbox's broadcast table. *)
+let enqueue_send t p depth send =
+  match send with
+  | Step.Unicast (dst, payload) ->
+      if dst < 0 || dst >= t.n then
+        invalid_arg "Engine: protocol sent out of range";
+      let id = t.next_msg_id in
+      t.next_msg_id <- id + 1;
+      Mailbox.add_unicast t.mailbox ~id ~src:p ~dst ~payload ~depth
+        ~sent_at_step:t.step_index ~sent_in_window:t.window_index;
+      Trace.record t.trace (Trace.Sent { src = p; dst; msg_id = id; depth })
+  | Step.Broadcast payload ->
+      let first = t.next_msg_id in
+      t.next_msg_id <- first + t.n;
+      Mailbox.add_broadcast t.mailbox ~first ~count:t.n ~src:p ~payload ~depth
+        ~sent_at_step:t.step_index ~sent_in_window:t.window_index;
+      Trace.record_broadcast t.trace ~src:p ~first ~count:t.n ~depth
+
 let do_send t p =
   if not t.crashed.(p) then begin
-    let state, messages = t.protocol.Protocol.outgoing t.states.(p) in
+    let state, sends = t.protocol.Protocol.outgoing t.states.(p) in
     t.states.(p) <- state;
     (* A sending step that actually emits messages is a "sending event"
        in the sense of Definition 15: it completes the response to the
        deliveries accumulated so far. *)
-    if t.track_deliveries && not (List.is_empty messages) then
+    if t.track_deliveries && not (List.is_empty sends) then
       t.recent_deliveries.(p) <- [];
-    List.iter
-      (fun (dst, payload) ->
-        if dst < 0 || dst >= t.n then invalid_arg "Engine: protocol sent out of range";
-        let id = t.next_msg_id in
-        t.next_msg_id <- id + 1;
-        let depth = t.receive_depths.(p) + 1 in
-        Mailbox.add t.mailbox
-          {
-            Envelope.id;
-            src = p;
-            dst;
-            payload;
-            depth;
-            sent_at_step = t.step_index;
-            sent_in_window = t.window_index;
-          };
-        Trace.record t.trace (Trace.Sent { src = p; dst; msg_id = id; depth }))
-      messages
+    let depth = t.receive_depths.(p) + 1 in
+    List.iter (fun send -> enqueue_send t p depth send) sends
   end
 
 let do_deliver t id =
@@ -249,12 +254,12 @@ let apply_window t ?(drop_undelivered = true) window =
         then apply t (Step.Deliver id))
   done;
   (* Undelivered fresh messages can never legally be delivered by a
-     later window, so clear them out (ids are dense, so probe the
-     window's own id range directly). *)
+     later window, so clear them out: one ascending merge walk over the
+     window's own id range (near-free after full-delivery windows,
+     where nothing fresh is left pending). *)
   if drop_undelivered then
-    for id = fresh_from to fresh_to - 1 do
-      if Mailbox.mem t.mailbox id then apply t (Step.Drop id)
-    done;
+    Mailbox.iter_ids_in_range t.mailbox ~from:fresh_from ~til:fresh_to
+      (fun id -> apply t (Step.Drop id));
   (* Phase 3: at most t resetting steps. *)
   List.iter (fun p -> apply t (Step.Reset p)) window.Window.resets;
   t.window_index <- t.window_index + 1;

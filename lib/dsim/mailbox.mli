@@ -4,10 +4,13 @@
     (or drops them, when it is entitled to).  Iteration order is always
     ascending message id, so executions are fully deterministic.
 
-    Internally a growable slot array indexed by message id (the engine
-    issues ids densely, so probes are O(1)) threaded with
-    per-destination intrusive queues; the list-returning accessors are
-    derived views built in a single pass. *)
+    Internally an arena: struct-of-arrays storage indexed by message id
+    (the engine issues ids densely, so probes are O(1)) threaded with
+    per-destination intrusive queues, plus a broadcast table that keeps
+    each uniform send as a single shared entry (payload + one pending
+    bit per destination) and materializes per-destination envelopes
+    lazily; the list-returning accessors are derived views built in a
+    single ascending-id merge of the two stores. *)
 
 type 'm t
 
@@ -16,6 +19,39 @@ val copy : 'm t -> 'm t
 
 val add : 'm t -> 'm Envelope.t -> unit
 (** Ids must be unique; violating this raises [Invalid_argument]. *)
+
+val add_unicast :
+  'm t ->
+  id:int ->
+  src:int ->
+  dst:int ->
+  payload:'m ->
+  depth:int ->
+  sent_at_step:int ->
+  sent_in_window:int ->
+  unit
+(** [add] without materializing an intermediate {!Envelope.t} record:
+    the engine's send path writes the fields straight into the arena's
+    parallel arrays.  Same id-uniqueness contract as [add]. *)
+
+val add_broadcast :
+  'm t ->
+  first:int ->
+  count:int ->
+  src:int ->
+  payload:'m ->
+  depth:int ->
+  sent_at_step:int ->
+  sent_in_window:int ->
+  unit
+(** Store a uniform send to destinations [0 .. count-1] as one shared
+    entry occupying ids [first .. first + count - 1], destination [dst]
+    owning id [first + dst] — the id order an eager per-destination
+    expansion would have produced.  O(count / word-size): the only
+    per-destination state is one pending bit.  The id range must be
+    fresh (beyond every id ever stored); [Invalid_argument] otherwise.
+    Destinations become visible to [take]/[find]/[mem]/[iter_for]
+    exactly as if [count] envelopes had been added individually. *)
 
 val take : 'm t -> int -> 'm Envelope.t option
 (** Remove and return the envelope with the given id. *)
@@ -27,7 +63,10 @@ val mem : 'm t -> int -> bool
 
 val replace_payload : 'm t -> int -> 'm -> bool
 (** Byzantine corruption hook: rewrite a pending message in place.
-    Returns [false] when no such message is pending. *)
+    Returns [false] when no such message is pending.  Corrupting one
+    destination of a broadcast splits that destination out of the
+    shared entry (same id, new payload); the others keep the original
+    payload. *)
 
 val size : 'm t -> int
 val is_empty : 'm t -> bool
@@ -44,7 +83,15 @@ val filter_ids : 'm t -> ('m Envelope.t -> bool) -> int list
 
 val iter_for : 'm t -> dst:int -> ('m Envelope.t -> unit) -> unit
 (** Visit the pending envelopes addressed to [dst] in ascending-id
-    order, allocation-free.  The callback may {!take} (or {!mem},
-    {!find}, {!replace_payload}) the envelope it is visiting — the
-    engine's delivery loop does — but must not {!add} to this mailbox
-    while the iteration runs. *)
+    order (arena queue merged with the broadcast table's contributions
+    for [dst]).  The callback may {!take} (or {!mem}, {!find},
+    {!replace_payload}) the envelope it is visiting — the engine's
+    delivery loop does — but must not {!add} to this mailbox while the
+    iteration runs. *)
+
+val iter_ids_in_range : 'm t -> from:int -> til:int -> (int -> unit) -> unit
+(** Visit the pending ids in [\[from, til)] ascending.  The callback
+    may {!take} the visited id (the engine's drop sweep does) but must
+    not {!add}.  Cost: the occupied arena span intersected with the
+    range plus the live broadcast entries overlapping it — after a
+    full-delivery window both are empty and the walk is O(1). *)

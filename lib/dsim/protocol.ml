@@ -9,7 +9,7 @@ type props = {
 type ('s, 'm) t = {
   name : string;
   init : n:int -> t:int -> id:int -> input:bool -> 's;
-  outgoing : 's -> 's * (int * 'm) list;
+  outgoing : 's -> 's * 'm Step.send list;
   on_deliver : 's -> src:int -> 'm -> Prng.Stream.t -> 's;
   on_reset : 's -> 's;
   output : 's -> bool option;

@@ -34,10 +34,13 @@ type ('s, 'm) t = {
   name : string;
   init : n:int -> t:int -> id:int -> input:bool -> 's;
       (** Initial state; must leave round-1 messages in the outbox. *)
-  outgoing : 's -> 's * (int * 'm) list;
-      (** Drain the outbox: returns the flushed state and the messages
-          (recipient, payload) to place in the buffer.  Must be
-          idempotent: flushing a flushed state returns no messages. *)
+  outgoing : 's -> 's * 'm Step.send list;
+      (** Drain the outbox: returns the flushed state and the sends to
+          place in the buffer — [Step.Unicast (dst, m)] for a single
+          recipient, [Step.Broadcast m] for all [n] (stored once and
+          expanded lazily by the engine, so a uniform send is O(1) to
+          emit).  Must be idempotent: flushing a flushed state returns
+          no messages. *)
   on_deliver : 's -> src:int -> 'm -> Prng.Stream.t -> 's;
       (** Receiving step; the single randomized transition. *)
   on_reset : 's -> 's;

@@ -1,3 +1,5 @@
+type 'm send = Unicast of int * 'm | Broadcast of 'm
+
 type 'm t =
   | Send of int
   | Deliver of int
@@ -5,6 +7,22 @@ type 'm t =
   | Reset of int
   | Crash of int
   | Corrupt of int * 'm
+
+let send_count ~n sends =
+  List.fold_left
+    (fun acc s -> acc + match s with Unicast _ -> 1 | Broadcast _ -> n)
+    0 sends
+
+let expand ~n sends =
+  List.concat_map
+    (function
+      | Unicast (dst, m) -> [ (dst, m) ]
+      | Broadcast m -> List.init n (fun dst -> (dst, m)))
+    sends
+
+let pp_send pp_payload ppf = function
+  | Unicast (dst, m) -> Format.fprintf ppf "p%d<={%a}" dst pp_payload m
+  | Broadcast m -> Format.fprintf ppf "*<={%a}" pp_payload m
 
 let pp pp_payload ppf = function
   | Send p -> Format.fprintf ppf "send(p%d)" p

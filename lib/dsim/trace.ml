@@ -57,6 +57,17 @@ let record t event =
       t.decisions_rev <- (pid, value, step, window, chain_depth) :: t.decisions_rev);
   if t.record_events then t.events_rev <- event :: t.events_rev
 
+(* Bulk accounting for a lazily-expanded broadcast: the engine reserves
+   ids [first .. first + count - 1] (id = first + dst) in one step, so
+   the counter bumps once by [count]; the per-destination [Sent] events
+   are only materialized when the trace keeps event lists at all. *)
+let record_broadcast t ~src ~first ~count ~depth =
+  t.sent <- t.sent + count;
+  if t.record_events then
+    for dst = 0 to count - 1 do
+      t.events_rev <- Sent { src; dst; msg_id = first + dst; depth } :: t.events_rev
+    done
+
 let events t = List.rev t.events_rev
 let sent t = t.sent
 let delivered t = t.delivered

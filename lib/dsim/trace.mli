@@ -21,6 +21,14 @@ val create : record_events:bool -> t
 val copy : t -> t
 
 val record : t -> event -> unit
+
+val record_broadcast : t -> src:int -> first:int -> count:int -> depth:int -> unit
+(** Account for a lazily-expanded broadcast occupying ids
+    [first .. first + count - 1] (destination [dst] gets id
+    [first + dst]): bumps the sent counter by [count] in O(1) and, when
+    event recording is on, appends the same per-destination [Sent]
+    events the eager expansion produced. *)
+
 val events : t -> event list
 (** Chronological; empty unless [record_events] was set. *)
 

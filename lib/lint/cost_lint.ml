@@ -40,38 +40,62 @@ let default_config =
     hot_roots =
       [
         "Engine.apply_window"; "Engine.deliver_all_pending";
-        "Mailbox.add"; "Mailbox.take"; "Mailbox.find"; "Mailbox.mem";
+        "Mailbox.add"; "Mailbox.add_unicast"; "Mailbox.add_broadcast";
+        "Mailbox.take"; "Mailbox.find"; "Mailbox.mem";
         "Mailbox.replace_payload"; "Mailbox.iter_for";
+        "Mailbox.iter_ids_in_range";
         "Window.make"; "Window.uniform"; "Window.hybrid"; "Window.allows";
       ];
     transition_fields = [ "outgoing"; "on_deliver"; "on_reset"; "output" ];
     overrides =
       [
-        (* Mailbox: dense slot array + intrusive per-dst queues; the
-           growth/compaction loops amortize to O(1) per engine op (see
-           lib/dsim/mailbox.ml's invariants and test_mailbox.ml). *)
+        (* Mailbox: arena (struct-of-arrays) unicast storage + a
+           broadcast table of shared envelopes.  The arena growth and
+           compaction loops amortize to O(1) per engine op, and the
+           point lookups pay one binary search over the (sorted,
+           disjoint) broadcast ranges (see lib/dsim/mailbox.ml's
+           invariants and test_mailbox.ml). *)
         ("Mailbox.add", Costs.Const);
-        ("Mailbox.take", Costs.Const);
-        ("Mailbox.find", Costs.Const);
-        ("Mailbox.mem", Costs.Const);
-        ("Mailbox.replace_payload", Costs.Const);
+        ("Mailbox.add_unicast", Costs.Const);
+        (* add_broadcast writes one table entry plus an n-bit pending
+           bitmap (n/63 words); that linear-in-words setup is charged
+           to the n deliveries/drops the broadcast funds, so per
+           resulting envelope it is O(1) amortized. *)
+        ("Mailbox.add_broadcast", Costs.Const);
+        ("Mailbox.take", Costs.Log);
+        ("Mailbox.find", Costs.Log);
+        ("Mailbox.mem", Costs.Log);
+        ("Mailbox.replace_payload", Costs.Log);
         ("Mailbox.iter_for", Costs.Const);  (* per delivered envelope *)
+        (* iter_ids_in_range skip-scans whole empty bitmap words, so
+           its work is proportional to envelopes actually visited
+           (each one an engine event), not to the id range. *)
+        ("Mailbox.iter_ids_in_range", Costs.Const);
         ("Mailbox.enqueue", Costs.Const);
         ("Mailbox.ensure_slot", Costs.Const);
         ("Mailbox.ensure_dst", Costs.Const);
-        ("Mailbox.node_at", Costs.Const);
-        ("Mailbox.get_node", Costs.Const);
         ("Mailbox.unlink", Costs.Const);
         (* Window.allows is a mask probe; the list fallback only runs
            for pids >= the mask clamp (2^16). *)
         ("Window.allows", Costs.Const);
-        (* Bitset: mem is two loads and a shift; construction is
-           linear by design (window building, not per delivery);
-           popcount is bounded by the 63-bit word size. *)
+        (* Bitset: mem/remove are two loads and a shift; construction
+           is linear by design (window building and broadcast pending
+           maps, not per delivery); next_from skips empty words, so a
+           scan over a set is linear in hits plus words, O(1) amortized
+           per hit; popcount is bounded by the 63-bit word size. *)
         ("Bitset.mem", Costs.Const);
+        ("Bitset.remove", Costs.Const);
+        ("Bitset.next_from", Costs.Const);
         ("Bitset.create", Costs.Linear);
         ("Bitset.of_list", Costs.Linear);
+        ("Bitset.full", Costs.Linear);
+        ("Bitset.copy", Costs.Linear);
         ("Bitset.popcount_word", Costs.Const);
+        (* Trace: the broadcast recorder bumps the sent counter once;
+           the per-destination Sent events only materialize when event
+           recording is on (diagnostic runs, never the hot bench
+           path). *)
+        ("Trace.record_broadcast", Costs.Const);
       ];
     exempt_modules = Effects.default_exempt_modules;
   }

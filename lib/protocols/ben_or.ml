@@ -50,13 +50,8 @@ type state = {
   x : bool;
   reports : Tally.t Round_map.t;
   proposals : ptally Round_map.t;
-  outbox_rev : (int * message) list;  (* pending sends, newest first *)
+  outbox_rev : message Dsim.Step.send list;  (* pending sends, newest first *)
 }
-
-(* The Protocol.t [outgoing] contract is an explicit (destination,
-   message) list: one envelope per processor is the send event itself.
-   (* lint: allow R12 R14 *) *)
-let broadcast state message = List.init state.n (fun dst -> (dst, message))
 
 let reports_for state round =
   Option.value ~default:Tally.empty (Round_map.find_opt round state.reports)
@@ -80,10 +75,8 @@ let finish_report_phase state =
   {
     state with
     outbox_rev =
-      (* lint: allow R12 — rev_append copies only the fresh broadcast *)
-      List.rev_append
-        (broadcast state (Propose { round = state.round; value = proposal }))
-        state.outbox_rev;
+      Dsim.Step.Broadcast (Propose { round = state.round; value = proposal })
+      :: state.outbox_rev;
   }
 
 (* Round transition once the proposal quorum is in: decide on t+1
@@ -121,10 +114,8 @@ let finish_propose_phase state rng =
   {
     state with
     outbox_rev =
-      (* lint: allow R12 — rev_append copies only the fresh broadcast *)
-      List.rev_append
-        (broadcast state (Report { round = next_round; value = x }))
-        state.outbox_rev;
+      Dsim.Step.Broadcast (Report { round = next_round; value = x })
+      :: state.outbox_rev;
   }
 
 let rec advance state rng =
@@ -158,13 +149,13 @@ let fresh ~n ~t ~id ~input ~resets =
   in
   {
     state with
-    (* lint: allow R12 — one reversal per (re)start, not per delivery *)
-    outbox_rev = List.rev (broadcast state (Report { round = 1; value = input }));
+    outbox_rev = [ Dsim.Step.Broadcast (Report { round = 1; value = input }) ];
   }
 
 let init ~n ~t ~id ~input = fresh ~n ~t ~id ~input ~resets:0
 
-(* One reversal per drain, O(1) amortized per message sent.
+(* One reversal per drain of the (short) send list: broadcasts are
+   single [Step.Broadcast] values, not n envelopes.
    (* lint: allow R12 *) *)
 let outgoing state = ({ state with outbox_rev = [] }, List.rev state.outbox_rev)
 
@@ -214,7 +205,7 @@ let state_core state =
     (bit state.x)
     (match state.output with None -> "_" | Some v -> String.make 1 (bit v))
     (bit state.input) state.resets reports proposals
-    (List.length state.outbox_rev)
+    (Dsim.Step.send_count ~n:state.n state.outbox_rev)
 
 let pp_message ppf = function
   | Report { round; value } ->

@@ -41,7 +41,7 @@ type state = {
   admitted : vote Int_map.t Int_map.t;  (* tag -> origin -> vote *)
   tallies : tally Int_map.t;  (* tag -> admitted-vote counts *)
   quarantine : (int * int * vote) list;  (* (tag, origin, vote), unjustified *)
-  outbox_rev : (int * message) list;  (* pending sends, newest first *)
+  outbox_rev : message Dsim.Step.send list;  (* pending sends, newest first *)
 }
 
 let bit_of_vote = function Val b | Dec b -> b
@@ -126,8 +126,8 @@ and drain_quarantine state =
 let rbc_broadcast state payload =
   let tag = tag_of ~round:state.round ~phase:state.phase in
   let rbc, sends = Reliable_broadcast.broadcast state.rbc ~tag payload in
-  (* Our own broadcast is trivially justified for us.  rev_append
-     copies only the fresh sends: O(1) amortized per message queued.
+  (* Our own broadcast is trivially justified for us.  [sends] is at
+     most one [Step.Broadcast] value, so queueing it is O(1).
      (* lint: allow R12 *) *)
   { state with rbc; outbox_rev = List.rev_append sends state.outbox_rev }
 
@@ -203,13 +203,15 @@ let init_with ~validated ~n ~t ~id ~input =
   in
   rbc_broadcast state (Val input)
 
-(* One reversal per drain, O(1) amortized per message sent.
+(* One reversal per drain of the (short) send list: broadcasts are
+   single [Step.Broadcast] values, not n envelopes.
    (* lint: allow R12 *) *)
 let outgoing state = ({ state with outbox_rev = [] }, List.rev state.outbox_rev)
 
 let on_deliver state ~src message rng =
   let rbc, sends, accepted = Reliable_broadcast.receive state.rbc ~src message in
-  (* lint: allow R12 — rev_append copies only the fresh sends *)
+  (* [sends] is at most one [Step.Broadcast] value: O(1) to queue.
+     (* lint: allow R12 *) *)
   let state = { state with rbc; outbox_rev = List.rev_append sends state.outbox_rev } in
   let tag =
     match message with
@@ -264,7 +266,7 @@ let state_core state =
     (Reliable_broadcast.fingerprint vote_fingerprint state.rbc)
     admitted
     (List.length state.quarantine)
-    (List.length state.outbox_rev)
+    (Dsim.Step.send_count ~n:state.n state.outbox_rev)
 
 let pp_vote ppf v = Format.pp_print_string ppf (vote_fingerprint v)
 

@@ -24,11 +24,13 @@ let forgetful_core config p =
     (String.concat "|" (Dsim.Engine.recent_deliveries config p))
 
 (* Canonical rendering of what a processor would send next: flush its
-   outbox on a copy of the configuration and print the messages. *)
+   outbox on a copy of the configuration and print the messages,
+   expanded to explicit (destination, payload) pairs so that lazy
+   broadcasts and eager unicasts render identically. *)
 let next_sends config p =
   let protocol = Dsim.Engine.protocol config in
-  let _, messages = protocol.Dsim.Protocol.outgoing (Dsim.Engine.state config p) in
-  messages
+  let _, sends = protocol.Dsim.Protocol.outgoing (Dsim.Engine.state config p) in
+  Dsim.Step.expand ~n:(Dsim.Engine.n config) sends
   |> List.map (fun (dst, m) ->
          Format.asprintf "%d<=%a" dst protocol.Dsim.Protocol.pp_message m)
   |> String.concat " "
@@ -59,10 +61,11 @@ let check protocol ~n ~t ~seeds ~windows_per_run =
       if (not (String.equal sends "")) && Option.is_none !fully_comm_witness
       then begin
         let recipients =
-          let _, messages =
+          let _, outbox =
             (Dsim.Engine.protocol config).Dsim.Protocol.outgoing
               (Dsim.Engine.state config p)
           in
+          let messages = Dsim.Step.expand ~n outbox in
           List.sort_uniq compare (List.map fst messages)
         in
         if List.length recipients <> n then
@@ -72,6 +75,15 @@ let check protocol ~n ~t ~seeds ~windows_per_run =
                  (List.length recipients) n)
       end
     done
+  in
+  (* Window construction is O(n) and the silenced set depends only on
+     [w mod n], so build the full-delivery window and the n silencing
+     variants once, outside the per-seed per-window loop, instead of
+     rebuilding the pid list with [List.init] every window. *)
+  let full_window = Dsim.Window.uniform ~n () in
+  let silencing_window =
+    Array.init n (fun r ->
+        Dsim.Window.uniform ~n ~silenced:(List.init t (fun i -> (r + i) mod n)) ())
   in
   List.iter
     (fun seed ->
@@ -84,8 +96,10 @@ let check protocol ~n ~t ~seeds ~windows_per_run =
       in
       inspect config;
       for w = 1 to windows_per_run do
-        let silenced = if w mod 2 = 0 then List.init t (fun i -> (w + i) mod n) else [] in
-        Dsim.Engine.apply_window config (Dsim.Window.uniform ~n ~silenced ());
+        let window =
+          if w mod 2 = 0 then silencing_window.(w mod n) else full_window
+        in
+        Dsim.Engine.apply_window config window;
         inspect config
       done)
     seeds;

@@ -16,10 +16,8 @@ type state = {
   round : int;  (* meaningful in Normal mode *)
   x : bool;  (* meaningful in Normal mode *)
   tallies : Tally.t Round_map.t;  (* votes for current and future rounds *)
-  outbox : (int * message) list;
+  outbox : message Dsim.Step.send list;
 }
-
-let broadcast state message = List.init state.n (fun dst -> (dst, message))
 
 let tally_for state round =
   Option.value ~default:Tally.empty (Round_map.find_opt round state.tallies)
@@ -49,7 +47,10 @@ let process_round ~coin state round rng =
   (* Prune tallies for rounds now in the past. *)
   let tallies = Round_map.filter (fun r _ -> r >= next_round) state.tallies in
   let state = { state with output; x; round = next_round; tallies; mode = Normal } in
-  { state with outbox = state.outbox @ broadcast state { round = next_round; value = x } }
+  {
+    state with
+    outbox = state.outbox @ [ Dsim.Step.Broadcast { round = next_round; value = x } ];
+  }
 
 (* Fire every round whose tally has reached T1, in order.  In windowed
    executions at most one round fires per delivery, but free-running
@@ -96,7 +97,7 @@ let init thresholds ~n ~t ~id ~input =
       outbox = [];
     }
   in
-  { state with outbox = broadcast state { round = 1; value = input } }
+  { state with outbox = [ Dsim.Step.Broadcast { round = 1; value = input } ] }
 
 let outgoing state = ({ state with outbox = [] }, state.outbox)
 
@@ -144,7 +145,7 @@ let state_core state =
     (match state.mode with Normal -> 'N' | Recovering -> 'R')
     (match state.output with None -> "_" | Some v -> String.make 1 (bit v))
     state.round (bit state.x) (bit state.input) state.resets tallies
-    (List.length state.outbox)
+    (Dsim.Step.send_count ~n:state.n state.outbox)
 
 let pp_message ppf (m : message) =
   Format.fprintf ppf "(%d,%d)" m.round (if m.value then 1 else 0)

@@ -44,11 +44,10 @@ let create ~n ~t ~self ~equal =
   { n; fault_bound = t; self; equal; instances = Key_map.empty;
     started = Int_set.empty }
 
-(* The Protocol.t [outgoing] contract is an explicit (destination,
-   message) list, so a broadcast must materialize one envelope per
-   processor; the allocation is per send event, not per delivery.
-   (* lint: allow R12 R14 *) *)
-let to_all t message = List.init t.n (fun dst -> (dst, message))
+(* A uniform send is a single [Step.Broadcast] value: the engine
+   stores it once and expands per-destination envelopes lazily, so
+   emission is O(1) regardless of [n]. *)
+let to_all _t message = [ Dsim.Step.Broadcast message ]
 
 let instance t key = Option.value ~default:inst_empty (Key_map.find_opt key t.instances)
 

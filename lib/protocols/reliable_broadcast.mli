@@ -32,14 +32,15 @@ val create :
     must be a structural, deterministic equality (polymorphic [=] is
     banned in this subtree by lint rule R7). *)
 
-val broadcast : 'p t -> tag:int -> 'p -> 'p t * (int * 'p msg) list
-(** Start an instance as origin: the [Initial] messages to send.
-    Re-broadcasting a tag already used is ignored (empty sends). *)
+val broadcast : 'p t -> tag:int -> 'p -> 'p t * 'p msg Dsim.Step.send list
+(** Start an instance as origin: the [Initial] send (a single
+    [Step.Broadcast], expanded lazily by the engine).  Re-broadcasting
+    a tag already used is ignored (empty sends). *)
 
 val receive :
-  'p t -> src:int -> 'p msg -> 'p t * (int * 'p msg) list * (int * 'p) list
-(** Process an incoming RBC message.  Returns the new state, messages
-    to send, and the list of [(origin, payload)] newly accepted by this
+  'p t -> src:int -> 'p msg -> 'p t * 'p msg Dsim.Step.send list * (int * 'p) list
+(** Process an incoming RBC message.  Returns the new state, sends to
+    queue, and the list of [(origin, payload)] newly accepted by this
     call (at most one). *)
 
 val accepted : 'p t -> tag:int -> (int * 'p) list

@@ -5,6 +5,12 @@
 #                                     report archived as BENCH_<date>.json
 #   scripts/bench.sh --quick          CI smoke: kernel groups only, tiny
 #                                     quota, gate on allocations only
+#   scripts/bench.sh --scaling        n-sweep scaling group only (the
+#                                     docs/BENCHMARKS.md "Scaling
+#                                     curves" tables), tiny quota, gate
+#                                     on allocations only — wall time
+#                                     at n = 10^4 is too host-dependent
+#                                     to fence
 #   scripts/bench.sh --record         full run, NO gate; rewrites
 #                                     bench/BASELINE.json (use after an
 #                                     intentional perf change, commit the
@@ -26,6 +32,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 quick=0
+scaling=0
 record=0
 out=""
 baseline="bench/BASELINE.json"
@@ -35,6 +42,7 @@ wall_threshold=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) quick=1 ;;
+    --scaling) scaling=1 ;;
     --record) record=1 ;;
     --out)
       [ $# -ge 2 ] || { echo "bench.sh: --out needs a path" >&2; exit 2; }
@@ -62,10 +70,18 @@ fi
 
 # The quick smoke pins the kernel hot-path groups the tentpole perf
 # work targets: window application (E1), the stepwise delivery loops
-# (E3) and the ensemble sweep (par-sweep).
+# (E3) and the ensemble sweep (par-sweep).  The scaling mode runs the
+# n-sweep group instead; both reuse the binary's --quick so only the
+# deterministic allocation fence gates.
+if [ "$quick" = 1 ] && [ "$scaling" = 1 ]; then
+  echo "bench.sh: --quick and --scaling are exclusive modes" >&2
+  exit 2
+fi
 quick_args=""
 if [ "$quick" = 1 ]; then
   quick_args="--quick --only E1 --only E3 --only par-sweep"
+elif [ "$scaling" = 1 ]; then
+  quick_args="--quick --only scaling"
 fi
 
 bench="_build/default/bench/main.exe"

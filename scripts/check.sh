@@ -104,11 +104,26 @@ echo "check: bench exit-code matrix + --quick regression smoke"
 # group regressed past the threshold, 2 usage/infrastructure error.
 expect 2 ./scripts/bench.sh --no-such-flag
 expect 2 ./scripts/bench.sh --quick --baseline /nonexistent/BASELINE.json
+expect 2 ./scripts/bench.sh --quick --scaling
 bench_out=$(mktemp)
 if ./scripts/bench.sh --quick --out "$bench_out"; then
   echo "check: quick bench within threshold of bench/BASELINE.json"
 else
   echo "check: FAIL — kernel hot-path groups regressed vs bench/BASELINE.json" >&2
+  rm -f "$bench_out"
+  exit 1
+fi
+rm -f "$bench_out"
+
+echo "check: n-sweep scaling gate (allocation fence only)"
+# The lazy-broadcast rewrite's headline claim — uniform sends allocate
+# O(1) at emission — is pinned by the scaling group's minor-words
+# baseline; a fan-out regression shows up here as an allocation jump.
+bench_out=$(mktemp)
+if ./scripts/bench.sh --scaling --out "$bench_out"; then
+  echo "check: scaling group within allocation fence of bench/BASELINE.json"
+else
+  echo "check: FAIL — scaling group regressed vs bench/BASELINE.json" >&2
   rm -f "$bench_out"
   exit 1
 fi

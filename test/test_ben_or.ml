@@ -16,12 +16,18 @@ let propose round value = Protocols.Ben_or.Propose { round; value }
 let feed state messages =
   List.fold_left (fun s (src, m) -> deliver s ~src m) state messages
 
+(* Drain the outbox and expand lazy broadcasts into the explicit
+   (destination, message) pairs the engine would enqueue. *)
+let drain state =
+  let state, sends = protocol.Dsim.Protocol.outgoing state in
+  (state, Dsim.Step.expand ~n:7 sends)
+
 let test_init () =
   let state = init () in
   Alcotest.(check int) "round 1" 1 (Protocols.Ben_or.round_of_state state);
   Alcotest.(check bool) "report phase" true
     (Protocols.Ben_or.phase_of_state state = `Report);
-  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  let _, messages = drain state in
   Alcotest.(check int) "broadcasts reports" 7 (List.length messages);
   List.iter
     (fun (_, m) ->
@@ -43,7 +49,7 @@ let test_majority_report_proposes_value () =
   in
   Alcotest.(check bool) "now propose phase" true
     (Protocols.Ben_or.phase_of_state state = `Propose);
-  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  let _, messages = drain state in
   let proposals =
     List.filter_map
       (fun (_, m) ->
@@ -56,7 +62,7 @@ let test_majority_report_proposes_value () =
     proposals
 
 let test_split_reports_propose_question () =
-  let state, _ = protocol.Dsim.Protocol.outgoing (init ()) in
+  let state, _ = drain (init ()) in
   let state =
     feed state
       [
@@ -65,7 +71,7 @@ let test_split_reports_propose_question () =
       ]
   in
   (* 3 of 5 is not > n/2 = 3.5 of all n. *)
-  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  let _, messages = drain state in
   List.iter
     (fun (_, m) ->
       match m with

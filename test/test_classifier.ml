@@ -59,7 +59,10 @@ let memoryful : (memoryful_state, string) Dsim.Protocol.t =
           lifetime_received = 0;
           outbox = List.init n (fun dst -> (dst, "ping"));
         });
-    outgoing = (fun s -> ({ s with outbox = [] }, s.outbox));
+    outgoing =
+      (fun s ->
+        ( { s with outbox = [] },
+          List.map (fun (dst, m) -> Dsim.Step.Unicast (dst, m)) s.outbox ));
     on_deliver =
       (fun s ~src:_ _message _rng ->
         let lifetime_received = s.lifetime_received + 1 in

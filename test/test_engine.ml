@@ -30,7 +30,10 @@ let toy : (toy_state, string) Dsim.Protocol.t =
           received = [];
           outbox = List.init n (fun dst -> (dst, "hello"));
         });
-    outgoing = (fun s -> ({ s with outbox = [] }, s.outbox));
+    outgoing =
+      (fun s ->
+        ( { s with outbox = [] },
+          List.map (fun (dst, m) -> Dsim.Step.Unicast (dst, m)) s.outbox ));
     on_deliver =
       (fun s ~src message _rng ->
         let s = { s with received = (src, message) :: s.received } in

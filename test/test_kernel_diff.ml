@@ -148,6 +148,106 @@ let prop_mailbox_differential =
       check (mailbox_obs_equal m r);
       !ok)
 
+(* Broadcast envelopes against the same reference: one [add_broadcast]
+   must be observation-equivalent to the n eager adds it replaces, under
+   random takes, finds, corrupt-splits ([replace_payload] on a broadcast
+   member) and range sweeps. *)
+let prop_broadcast_mailbox_differential =
+  QCheck.Test.make ~count:60 ~name:"lazy broadcast matches n eager adds"
+    QCheck.small_int (fun seed ->
+      let rng = Prng.Stream.root (seed + 409) in
+      let m : int Dsim.Mailbox.t = Dsim.Mailbox.create () in
+      let r : int Ref_mailbox.t = Ref_mailbox.create () in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      let meta first =
+        ((first mod 5) + 1, first, first / 4)  (* depth, step, window *)
+      in
+      for op = 1 to 200 do
+        (match Prng.Stream.int_below rng 10 with
+        | 0 | 1 | 2 ->
+            (* a broadcast: ids [first, first + count), dst = id - first *)
+            let count = 1 + Prng.Stream.int_below rng 9 in
+            let src = Prng.Stream.int_below rng 8 in
+            let first = !next_id in
+            next_id := first + count;
+            let depth, sent_at_step, sent_in_window = meta first in
+            Dsim.Mailbox.add_broadcast m ~first ~count ~src ~payload:(first * 17)
+              ~depth ~sent_at_step ~sent_in_window;
+            for dst = 0 to count - 1 do
+              Ref_mailbox.add r
+                {
+                  Dsim.Envelope.id = first + dst;
+                  src;
+                  dst;
+                  payload = first * 17;
+                  depth;
+                  sent_at_step;
+                  sent_in_window;
+                }
+            done
+        | 3 | 4 ->
+            (* an interleaved unicast keeps both stores mixed *)
+            let id = !next_id in
+            incr next_id;
+            let src = Prng.Stream.int_below rng 8 in
+            let dst = Prng.Stream.int_below rng 10 in
+            let depth, sent_at_step, sent_in_window = meta id in
+            Dsim.Mailbox.add_unicast m ~id ~src ~dst ~payload:(id * 17) ~depth
+              ~sent_at_step ~sent_in_window;
+            Ref_mailbox.add r
+              {
+                Dsim.Envelope.id;
+                src;
+                dst;
+                payload = id * 17;
+                depth;
+                sent_at_step;
+                sent_in_window;
+              }
+        | 5 | 6 ->
+            let id = Prng.Stream.int_below rng (!next_id + 4) in
+            check (Dsim.Mailbox.take m id = Ref_mailbox.take r id)
+        | 7 ->
+            let id = Prng.Stream.int_below rng (!next_id + 4) in
+            check (Dsim.Mailbox.find m id = Ref_mailbox.find r id);
+            check
+              (Dsim.Mailbox.mem m id = Option.is_some (Ref_mailbox.find r id))
+        | 8 ->
+            (* corrupt-split: on a broadcast member this carves the id
+               out of the shared envelope into the arena *)
+            let id = Prng.Stream.int_below rng (!next_id + 4) in
+            let payload = Prng.Stream.int_below rng 1000 in
+            check
+              (Dsim.Mailbox.replace_payload m id payload
+              = Ref_mailbox.replace_payload r id payload)
+        | _ ->
+            (* the engine's drop sweep: ascending ids over a range *)
+            let from = Prng.Stream.int_below rng (!next_id + 1) in
+            let til = from + Prng.Stream.int_below rng 24 in
+            let swept = ref [] in
+            Dsim.Mailbox.iter_ids_in_range m ~from ~til (fun id ->
+                swept := id :: !swept);
+            check
+              (List.rev !swept
+              = List.filter
+                  (fun id -> id >= from && id < til)
+                  (Ref_mailbox.pending_ids r)));
+        if op mod 25 = 0 then check (mailbox_obs_equal m r)
+      done;
+      check (mailbox_obs_equal m r);
+      (* deep copy: draining the copy (broadcasts included) leaves the
+         original alone *)
+      let mc = Dsim.Mailbox.copy m and rc = Ref_mailbox.copy r in
+      check (mailbox_obs_equal mc rc);
+      List.iter
+        (fun id -> check (Dsim.Mailbox.take mc id = Ref_mailbox.take rc id))
+        (Ref_mailbox.pending_ids rc);
+      check (Dsim.Mailbox.is_empty mc);
+      check (mailbox_obs_equal m r);
+      !ok)
+
 (* The engine's delivery pattern: taking the visited envelope while the
    per-dst iteration runs must still visit every envelope once. *)
 let test_iter_for_take_during_iteration () =
@@ -382,6 +482,71 @@ let prop_apply_window_differential =
       done;
       !ok)
 
+(* The lazy-broadcast contract itself: a protocol whose [outgoing] is
+   wrapped to eagerly expand every [Step.Broadcast] into n [Step.Unicast]
+   values must produce a bit-identical execution — same id assignment
+   (id = first + dst), same trace counters, same surviving envelopes —
+   under random windows, resets, corruption and drops. *)
+let eager_protocol protocol ~n =
+  {
+    protocol with
+    Dsim.Protocol.outgoing =
+      (fun s ->
+        let s, sends = protocol.Dsim.Protocol.outgoing s in
+        ( s,
+          List.map
+            (fun (dst, m) -> Dsim.Step.Unicast (dst, m))
+            (Dsim.Step.expand ~n sends) ));
+  }
+
+let prop_lazy_vs_eager_broadcast =
+  QCheck.Test.make ~count:40
+    ~name:"lazy broadcast engine matches eagerly-expanded protocol"
+    QCheck.small_int (fun seed ->
+      let n = 7 and t = 2 in
+      let protocol = Protocols.Ben_or.protocol () in
+      let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+      let lazy_ = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+      let eager =
+        Dsim.Engine.init
+          ~protocol:(eager_protocol protocol ~n)
+          ~n ~fault_bound:t ~inputs ~seed ()
+      in
+      let rng = Prng.Stream.root ((seed * 6007) + 29) in
+      let pool = List.init (n + 3) (fun i -> i - 1) in
+      let ok = ref true in
+      for _w = 1 to 6 do
+        let receive_sets =
+          Array.init n (fun _ -> List.filter (fun _ -> Prng.Stream.bool rng) pool)
+        in
+        let resets =
+          List.filter (fun _ -> Prng.Stream.bernoulli rng 0.2) [ 0; 1; 2 ]
+        in
+        let window = Dsim.Window.make ~receive_sets ~resets in
+        let drop_undelivered = Prng.Stream.bool rng in
+        Dsim.Engine.apply_window lazy_ ~drop_undelivered window;
+        Dsim.Engine.apply_window eager ~drop_undelivered window;
+        (* poke a surviving stale message on both sides: corruption
+           splits a lazy broadcast member off its shared envelope *)
+        (match Dsim.Mailbox.pending_ids (Dsim.Engine.mailbox lazy_) with
+        | [] -> ()
+        | ids ->
+            let id = List.nth ids (Prng.Stream.int_below rng (List.length ids)) in
+            if Prng.Stream.bool rng then begin
+              let payload =
+                Protocols.Ben_or.Report { round = 0; value = Prng.Stream.bool rng }
+              in
+              Dsim.Engine.apply lazy_ (Dsim.Step.Corrupt (id, payload));
+              Dsim.Engine.apply eager (Dsim.Step.Corrupt (id, payload))
+            end
+            else begin
+              Dsim.Engine.apply lazy_ (Dsim.Step.Drop id);
+              Dsim.Engine.apply eager (Dsim.Step.Drop id)
+            end);
+        if not (configs_agree lazy_ eager) then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* The recent-deliveries gate: off by default, free of side effects.   *)
 
@@ -548,9 +713,11 @@ let suite =
   List.map to_alcotest
     [
       prop_mailbox_differential;
+      prop_broadcast_mailbox_differential;
       prop_window_differential;
       prop_bitset_reference;
       prop_apply_window_differential;
+      prop_lazy_vs_eager_broadcast;
     ]
   @ [
       Alcotest.test_case "iter_for allows taking the visited envelope" `Quick

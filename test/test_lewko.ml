@@ -16,9 +16,15 @@ let vote round value = { Protocols.Lewko_variant.round; value }
 let feed state votes =
   List.fold_left (fun s (src, round, value) -> deliver s ~src (vote round value)) state votes
 
+(* Drain the outbox and expand lazy broadcasts into the explicit
+   (destination, message) pairs the engine would enqueue. *)
+let drain state =
+  let state, sends = protocol.Dsim.Protocol.outgoing state in
+  (state, Dsim.Step.expand ~n:7 sends)
+
 let test_init_broadcasts () =
   let state = init () in
-  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  let _, messages = drain state in
   Alcotest.(check int) "sends to all 7" 7 (List.length messages);
   List.iter
     (fun (_, m) ->
@@ -29,8 +35,8 @@ let test_init_broadcasts () =
 
 let test_outgoing_idempotent () =
   let state = init () in
-  let state, first = protocol.Dsim.Protocol.outgoing state in
-  let _, second = protocol.Dsim.Protocol.outgoing state in
+  let state, first = drain state in
+  let _, second = drain state in
   Alcotest.(check int) "first flush" 7 (List.length first);
   Alcotest.(check int) "second flush empty" 0 (List.length second)
 
@@ -43,7 +49,7 @@ let test_waits_for_t1 () =
     (Protocols.Lewko_variant.pending_votes state ~round:1)
 
 let test_decides_at_t2 () =
-  let state, _ = protocol.Dsim.Protocol.outgoing (init ()) in
+  let state, _ = drain (init ()) in
   let state =
     feed state
       [ (1, 1, true); (2, 1, true); (3, 1, true); (4, 1, true); (5, 1, true) ]
@@ -52,7 +58,7 @@ let test_decides_at_t2 () =
   Alcotest.(check int) "advanced to round 2" 2
     (Protocols.Lewko_variant.round_of_state state);
   (* The round-2 vote is queued. *)
-  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  let _, messages = drain state in
   Alcotest.(check int) "round-2 broadcast" 7 (List.length messages);
   List.iter
     (fun (_, m) -> Alcotest.(check int) "round 2" 2 m.Protocols.Lewko_variant.round)
@@ -137,7 +143,7 @@ let test_reset_and_recovery () =
   let obs = protocol.Dsim.Protocol.observe state in
   Alcotest.(check int) "reset counter" 1 obs.Dsim.Obs.resets;
   (* A recovering processor sends nothing. *)
-  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  let _, messages = drain state in
   Alcotest.(check int) "silent while recovering" 0 (List.length messages);
   (* Five round-5 votes with 4+ agreeing: adopt round 5, run step 3,
      resume at round 6. *)
@@ -149,7 +155,7 @@ let test_reset_and_recovery () =
     (Protocols.Lewko_variant.round_of_state state);
   Alcotest.(check bool) "estimate adopted" true
     (Protocols.Lewko_variant.estimate_of_state state = Some true);
-  let _, messages = protocol.Dsim.Protocol.outgoing state in
+  let _, messages = drain state in
   Alcotest.(check int) "resumes broadcasting" 7 (List.length messages)
 
 let test_reset_preserves_output_and_input () =

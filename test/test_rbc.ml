@@ -6,6 +6,10 @@ module Rbc = Protocols.Reliable_broadcast
 
 let create ?(self = 0) () = Rbc.create ~n:7 ~t:2 ~self ~equal:String.equal
 
+(* Expand lazy broadcast envelopes into the explicit (destination,
+   message) pairs the engine would enqueue (n = 7 throughout). *)
+let expand sends = Dsim.Step.expand ~n:7 sends
+
 let kind = function
   | Rbc.Initial _ -> `Initial
   | Rbc.Echo _ -> `Echo
@@ -17,6 +21,7 @@ let count_kind k messages =
 let test_broadcast_sends_initial () =
   let state = create () in
   let _, sends = Rbc.broadcast state ~tag:1 "v" in
+  let sends = expand sends in
   Alcotest.(check int) "initial to all" 7 (List.length sends);
   Alcotest.(check int) "all initial" 7 (count_kind `Initial sends)
 
@@ -31,6 +36,7 @@ let test_initial_echoes () =
   let _, sends, accepted =
     Rbc.receive state ~src:3 (Rbc.Initial { tag = 5; payload = "v" })
   in
+  let sends = expand sends in
   Alcotest.(check int) "echo to all" 7 (count_kind `Echo sends);
   Alcotest.(check (list (pair int string))) "nothing accepted yet" [] accepted;
   (* The echo names the true origin. *)
@@ -58,7 +64,7 @@ let test_echo_quorum_triggers_ready () =
       Rbc.receive !state ~src (Rbc.Echo { origin = 6; tag = 2; payload = "v" })
     in
     state := s;
-    total_readies := !total_readies + count_kind `Ready sends;
+    total_readies := !total_readies + count_kind `Ready (expand sends);
     if src < 5 then
       Alcotest.(check int)
         (Printf.sprintf "no ready at %d echoes" src)
@@ -77,7 +83,7 @@ let test_mismatched_echoes_do_not_quorum () =
           (Rbc.Echo { origin = 6; tag = 2; payload })
       in
       state := s;
-      readies := !readies + count_kind `Ready sends)
+      readies := !readies + count_kind `Ready (expand sends))
     [ "v"; "w"; "v"; "w"; "v"; "w"; "v" ];
   Alcotest.(check int) "no ready from split echoes" 0 !readies
 
@@ -91,7 +97,7 @@ let test_ready_amplification () =
       Rbc.receive !state ~src (Rbc.Ready { origin = 6; tag = 2; payload = "v" })
     in
     state := s;
-    readies := !readies + count_kind `Ready sends
+    readies := !readies + count_kind `Ready (expand sends)
   done;
   Alcotest.(check int) "amplified at t+1" 7 !readies
 
@@ -153,7 +159,7 @@ let test_equivocation_safety () =
           match m with
           | Rbc.Ready { payload; _ } -> ready_payloads := payload :: !ready_payloads
           | _ -> ())
-        sends)
+        (expand sends))
     [ "v"; "v"; "v"; "w"; "w"; "v"; "v" ];
   (* "v" got 5 echoes -> one ready burst, all for "v". *)
   Alcotest.(check bool) "readies only for v" true
@@ -190,7 +196,7 @@ let simulate_equivocation ?(split = 3) ~seed () =
         let state, sends, now = Rbc.receive states.(dst) ~src message in
         states.(dst) <- state;
         accepted.(dst) <- accepted.(dst) @ now;
-        List.iter (fun (to_, m) -> queue := (dst, to_, m) :: !queue) sends;
+        List.iter (fun (to_, m) -> queue := (dst, to_, m) :: !queue) (expand sends);
         drain ()
   in
   drain ();
