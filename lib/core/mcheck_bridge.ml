@@ -1,0 +1,17 @@
+(* The one wire between the model checker and the Domain-based sweep
+   machinery.  [Mcheck] itself stays Domain-free (static-lint rule R6
+   confines Domain/Atomic to Par_sweep); it takes frontier expansion as
+   an injected [sharder], and this is the injection.
+
+   Determinism: [Par_sweep.map_reduce] always reduces per-item results
+   in index order on the calling domain, and the explorer's merge is
+   associative with its init as identity, so the merged frontier — and
+   therefore every number the checker prints — is bit-identical for
+   every [jobs] value. *)
+
+let sharder : Mcheck.Explore.sharder =
+  {
+    Mcheck.Explore.run =
+      (fun ~jobs ~merge ~init ~f items ->
+        Par_sweep.map_reduce ~jobs ~merge ~init ~f items);
+  }

@@ -1,0 +1,9 @@
+(** The one wire between the model checker and the Domain-based sweep
+    machinery: {!Mcheck.Explore} takes frontier expansion as an
+    injected sharder (keeping that library Domain-free per lint R6),
+    and this is the injection. *)
+
+val sharder : Mcheck.Explore.sharder
+(** Backed by {!Par_sweep.map_reduce}: per-item results reduce in index
+    order on the calling domain, so explorer output is bit-identical
+    for every [jobs] value. *)

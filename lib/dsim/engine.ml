@@ -70,6 +70,9 @@ let copy t =
 let reseed t stream =
   Array.iteri (fun i _ -> t.rngs.(i) <- Prng.Stream.derive stream i) t.rngs
 
+let reseed_shared t stream =
+  Array.iteri (fun i _ -> t.rngs.(i) <- Prng.Stream.copy stream) t.rngs
+
 let n t = t.n
 let fault_bound t = t.fault_bound
 let protocol t = t.protocol
@@ -126,6 +129,40 @@ let fingerprint t =
     if p > 0 then Buffer.add_char b '|';
     Buffer.add_string b (t.protocol.Protocol.state_core t.states.(p))
   done;
+  Buffer.contents b
+
+let config_fingerprint ?(include_counters = false) t =
+  let b = Buffer.create (64 * t.n) in
+  let pp_msg m = Format.asprintf "%a" t.protocol.Protocol.pp_message m in
+  for p = 0 to t.n - 1 do
+    Buffer.add_string b (t.protocol.Protocol.state_core t.states.(p));
+    Buffer.add_char b (if t.crashed.(p) then 'C' else '.');
+    Buffer.add_string b (string_of_int t.reset_counts.(p));
+    Buffer.add_char b '~';
+    Buffer.add_string b (Prng.Stream.fingerprint t.rngs.(p));
+    (* Pending outbox: [outgoing] is pure (lint R8), so peeking at the
+       sends the current state would emit observes outbox content
+       without mutating the configuration. *)
+    let _, sends = t.protocol.Protocol.outgoing t.states.(p) in
+    List.iter
+      (fun send ->
+        match send with
+        | Step.Unicast (dst, payload) ->
+            Buffer.add_string b (Printf.sprintf ">u%d:%s" dst (pp_msg payload))
+        | Step.Broadcast payload ->
+            Buffer.add_string b (Printf.sprintf ">b:%s" (pp_msg payload)))
+      sends;
+    Buffer.add_char b '|'
+  done;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "m%d>%d:%s;" e.Envelope.src e.Envelope.dst
+           (pp_msg e.Envelope.payload)))
+    (Mailbox.pending t.mailbox);
+  if include_counters then
+    Buffer.add_string b
+      (Printf.sprintf "#s%d.w%d.i%d" t.step_index t.window_index t.next_msg_id);
   Buffer.contents b
 
 (* Record a decision event when a state transition wrote the output bit. *)
@@ -234,13 +271,16 @@ let apply t step =
       if not (Mailbox.replace_payload t.mailbox id payload) then
         invalid_arg (Printf.sprintf "Engine: corrupt of unknown message #%d" id)
 
-let apply_window t ?(drop_undelivered = true) window =
+let apply_window t ?(drop_undelivered = true) ?tamper window =
   let fresh_from = t.next_msg_id in
   (* Phase 1: all processors take sending steps. *)
   for p = 0 to t.n - 1 do
     apply t (Step.Send p)
   done;
   let fresh_to = t.next_msg_id in
+  (* In-transit corruption: the adversary may rewrite this window's
+     fresh messages after they are sent and before any is delivered. *)
+  (match tamper with None -> () | Some f -> f ~from_id:fresh_from ~til_id:fresh_to);
   (* Phase 2: each processor i receives the just-sent messages from S_i,
      in ascending (sender, id) order — "some fixed order".  The mailbox's
      per-destination queues and the window's receive-set masks make this

@@ -37,6 +37,14 @@ val reseed : ('s, 'm) t -> Prng.Stream.t -> unit
 (** Re-derive every processor's randomness stream from the given
     stream, so a forked configuration flips fresh coins. *)
 
+val reseed_shared : ('s, 'm) t -> Prng.Stream.t -> unit
+(** Give every processor an identical copy of [stream], so all coins
+    are perfectly correlated.  The model checker uses this: safety must
+    hold for {e every} coin assignment, including correlated ones, and
+    identical per-processor streams make configurations equivariant
+    under pid permutation — the precondition of its symmetry
+    reduction. *)
+
 (* {2 Accessors (the adversary's full-information view)} *)
 
 val n : ('s, 'm) t -> int
@@ -93,6 +101,19 @@ val state_cores : ('s, 'm) t -> string array
     {!fingerprint}); Hamming distance between configurations is
     computed coordinate-wise on these. *)
 
+val config_fingerprint : ?include_counters:bool -> ('s, 'm) t -> string
+(** Canonical rendering of the {e full} decision-relevant
+    configuration: per-processor state cores, crash flags, reset
+    counters, PRNG states, and pending outbox sends (peeked via the
+    pure [outgoing]), plus the mailbox's in-transit envelopes.  Two
+    configurations with equal fingerprints have identical futures
+    under identical adversary choices, which is what memoized
+    deduplication in the bounded model checker needs.  Causal receive
+    depths and trace counters are excluded — they never feed a
+    protocol transition; pass [~include_counters:true] to append
+    step/window/message counters when distinguishing executions (not
+    configurations) matters. *)
+
 (* {2 Step application} *)
 
 val apply : ('s, 'm) t -> 'm Step.t -> unit
@@ -102,14 +123,23 @@ val apply : ('s, 'm) t -> 'm Step.t -> unit
     raise [Invalid_argument] (the adversary is a deterministic function
     of the visible configuration, so this is a strategy bug). *)
 
-val apply_window : ('s, 'm) t -> ?drop_undelivered:bool -> Window.t -> unit
+val apply_window :
+  ('s, 'm) t ->
+  ?drop_undelivered:bool ->
+  ?tamper:(from_id:int -> til_id:int -> unit) ->
+  Window.t ->
+  unit
 (** Apply one acceptable window (Definition 1): sending steps for all
     non-crashed processors, then for each [i] deliver the just-sent
     messages from senders in [S_i] (ascending sender order), then the
     resetting steps.  When [drop_undelivered] (default [true]), fresh
     messages outside every receive set are dropped at window end —
     windows only ever deliver "just sent" messages, so stale messages
-    can never be delivered later anyway. *)
+    can never be delivered later anyway.  [tamper], if given, runs
+    after the sending phase and before any delivery, with the fresh id
+    range [\[from_id, til_id)]; it is the hook for in-transit Byzantine
+    corruption ([Step.Corrupt] on fresh ids) and is what the model
+    checker's corruption menu drives. *)
 
 val deliver_all_pending : ('s, 'm) t -> dst:int -> unit
 (** Deliver every pending message addressed to [dst], ascending id. *)

@@ -71,9 +71,16 @@ let has_out_of_range w i ~n =
 
 let validate ~n ~t w =
   let in_range p = p >= 0 && p < n in
+  (* Error paths only: recover the actual offending pid by a list walk
+     so diagnostics name it (the hot-path check stays a popcount). *)
+  let first_out_of_range ps =
+    List.find_opt (fun p -> not (in_range p)) ps
+  in
   let check_set i =
     if has_out_of_range w i ~n then
-      Error (Printf.sprintf "S_%d contains an out-of-range pid" i)
+      let p = Option.get (first_out_of_range w.receive_sets.(i)) in
+      Error
+        (Printf.sprintf "S_%d contains out-of-range pid %d (n = %d)" i p n)
     else if w.sizes.(i) < n - t then
       Error
         (Printf.sprintf "S_%d has %d senders; need >= n - t = %d" i w.sizes.(i)
@@ -84,9 +91,12 @@ let validate ~n ~t w =
     Error (Printf.sprintf "window has %d receive sets; need %d" (Array.length w.receive_sets) n)
   else if w.reset_count > t then
     Error (Printf.sprintf "window resets %d processors; at most t = %d allowed" w.reset_count t)
-  else if List.exists (fun p -> not (in_range p)) w.resets then
-    Error "reset set contains an out-of-range pid"
   else
+    match first_out_of_range w.resets with
+    | Some p ->
+        Error
+          (Printf.sprintf "reset set contains out-of-range pid %d (n = %d)" p n)
+    | None ->
     let rec check i =
       if i >= n then Ok ()
       else

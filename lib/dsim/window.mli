@@ -42,7 +42,10 @@ val hybrid : n:int -> j:int -> s0:int list -> s1:int list -> r0:int list -> r1:i
 
 val validate : n:int -> t:int -> t -> (unit, string) result
 (** Checks Definition 1: every [S_i] within range with
-    [|S_i| >= n - t], and [|R| <= t]. *)
+    [|S_i| >= n - t], and [|R| <= t].  Error messages name the
+    offending processor index and pid (e.g.
+    ["S_2 contains out-of-range pid 7 (n = 3)"]) so model-checker
+    counterexamples and user-facing diagnostics are actionable. *)
 
 val receive_set : t -> int -> int list
 

@@ -1,0 +1,168 @@
+(* The adversary's per-window choice menu: the alphabet the bounded
+   explorer enumerates schedules over.  A menu is a deterministic
+   function of (n, t, window family, corruption budget), independent of
+   protocol state, so a schedule is just an array of menu indices —
+   compact to store in frontiers and trivially replayable.
+
+   Closure under pid permutation matters: the symmetry reduction
+   identifies configurations up to a permutation group G, which is
+   sound only if permuting every choice of a schedule lands back inside
+   the menu (otherwise a deduplicated node's subtree would not be a
+   relabeling of the representative's subtree).  Both window families
+   are closed under all of S_n, and the corruption menu enumerates
+   every destination bit-mask, so it is closed too; G is then only
+   restricted by the input vector and the corrupt set. *)
+
+type tamper = { src : int; mask : int }
+(* Rewrite every fresh message from [src]: destination [d] receives the
+   payload with its bit forced to [(mask lsr d) land 1].  mask = 0 and
+   mask = 2^n - 1 are the consistent rewrites; anything in between is
+   equivocation. *)
+
+type choice = {
+  index : int;  (* position in [choices]; -1 for permuted images *)
+  window : Dsim.Window.t;
+  recv_masks : int array;  (* recv_masks.(dst) has bit src iff src in S_dst *)
+  resets : int list;
+  tamper : tamper option;
+}
+
+type t = {
+  n : int;
+  fault_bound : int;
+  family : [ `Uniform | `Full ];
+  corrupt : int;
+  choices : choice array;
+}
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let bits_of_mask ~n m =
+  List.filter (fun p -> (m lsr p) land 1 = 1) (List.init n (fun i -> i))
+
+(* Ascending subset masks of [0, n) with popcount <= k. *)
+let subsets_le ~n k =
+  List.filter (fun m -> popcount m <= k) (List.init (1 lsl n) (fun m -> m))
+
+(* Ascending receive-set masks: popcount >= n - t. *)
+let receive_masks ~n ~t =
+  List.filter (fun m -> popcount m >= n - t) (List.init (1 lsl n) (fun m -> m))
+
+let window_of_masks ~n recv resets_mask =
+  let receive_sets = Array.map (bits_of_mask ~n) recv in
+  let resets = bits_of_mask ~n resets_mask in
+  (Dsim.Window.make ~receive_sets ~resets, resets)
+
+(* All (receive-mask vector, reset mask) pairs of a family, in a fixed
+   deterministic order: receive choices lexicographic by processor (S_0
+   most significant), reset masks ascending within each. *)
+let window_menu ~n ~t family =
+  match family with
+  | `Uniform ->
+      let silenced = subsets_le ~n t in
+      let resets = subsets_le ~n t in
+      List.concat_map
+        (fun sm ->
+          let full = (1 lsl n) - 1 in
+          let recv = Array.make n (full land lnot sm) in
+          List.map (fun rm -> (recv, rm)) resets)
+        silenced
+  | `Full ->
+      let per = receive_masks ~n ~t in
+      let resets = subsets_le ~n t in
+      let rec tuples i =
+        if i >= n then [ [] ]
+        else
+          let rest = tuples (i + 1) in
+          List.concat_map (fun m -> List.map (fun tl -> m :: tl) rest) per
+      in
+      List.concat_map
+        (fun tup ->
+          let recv = Array.of_list tup in
+          List.map (fun rm -> (recv, rm)) resets)
+        (tuples 0)
+
+(* None first, then per corrupt source ascending, every destination
+   mask ascending. *)
+let tamper_menu ~n ~corrupt =
+  None
+  :: List.concat_map
+       (fun src -> List.map (fun mask -> Some { src; mask }) (List.init (1 lsl n) (fun m -> m)))
+       (List.init corrupt (fun s -> s))
+
+let build ~n ~t ~family ~corrupt =
+  if n <= 0 || n > 62 then invalid_arg "Menu.build: n out of range";
+  if t < 0 || t >= n then invalid_arg "Menu.build: t out of range";
+  if corrupt < 0 || corrupt > n then invalid_arg "Menu.build: corrupt out of range";
+  let tampers = tamper_menu ~n ~corrupt in
+  let choices =
+    window_menu ~n ~t family
+    |> List.concat_map (fun (recv, rm) ->
+           let window, resets = window_of_masks ~n recv rm in
+           List.map
+             (fun tamper ->
+               { index = -1; window; recv_masks = Array.copy recv; resets; tamper })
+             tampers)
+    |> Array.of_list
+  in
+  Array.iteri (fun i c -> choices.(i) <- { c with index = i }) choices;
+  { n; fault_bound = t; family; corrupt; choices }
+
+let size menu = Array.length menu.choices
+let choice menu i = menu.choices.(i)
+
+let validate_all menu =
+  Array.for_all
+    (fun c ->
+      match Dsim.Window.validate ~n:menu.n ~t:menu.fault_bound c.window with
+      | Ok () -> true
+      | Error _ -> false)
+    menu.choices
+
+(* The image of a choice under pid permutation [pi] (an array:
+   pi.(i) is where processor i goes).  Windows: S'_{pi(d)} = pi(S_d),
+   resets and corrupt sources mapped pointwise, destination masks
+   permuted bitwise. *)
+let permute_bits pi m =
+  let out = ref 0 in
+  Array.iteri (fun i pi_i -> if (m lsr i) land 1 = 1 then out := !out lor (1 lsl pi_i)) pi;
+  !out
+
+let permute_choice ~n pi c =
+  let recv = Array.make n 0 in
+  Array.iteri (fun d m -> recv.(pi.(d)) <- permute_bits pi m) c.recv_masks;
+  let receive_sets = Array.map (bits_of_mask ~n) recv in
+  let resets = List.sort Int.compare (List.map (fun p -> pi.(p)) c.resets) in
+  {
+    index = -1;
+    window = Dsim.Window.make ~receive_sets ~resets;
+    recv_masks = recv;
+    resets;
+    tamper =
+      Option.map
+        (fun { src; mask } -> { src = pi.(src); mask = permute_bits pi mask })
+        c.tamper;
+  }
+
+let pp_choice ppf c =
+  let set_of m =
+    String.concat "" (List.map string_of_int (bits_of_mask ~n:62 m))
+  in
+  let sets = Array.to_list (Array.map set_of c.recv_masks) in
+  let uniform =
+    match sets with [] -> true | s :: rest -> List.for_all (String.equal s) rest
+  in
+  (if uniform then
+     Format.fprintf ppf "S={%s}" (match sets with [] -> "" | s :: _ -> s)
+   else
+     Format.fprintf ppf "S=[%s]" (String.concat "|" sets));
+  Format.fprintf ppf " R={%s}"
+    (String.concat "" (List.map string_of_int c.resets));
+  match c.tamper with
+  | None -> ()
+  | Some { src; mask } ->
+      Format.fprintf ppf " corrupt(src=%d,bits=%s)" src (set_of mask)
+
+let choice_to_string c = Format.asprintf "%a" pp_choice c

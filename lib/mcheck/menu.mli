@@ -1,0 +1,66 @@
+(** The adversary's per-window choice menu: the finite alphabet the
+    bounded explorer enumerates schedules over.  A menu is a pure
+    function of [(n, t, family, corrupt)] — no protocol state — so a
+    schedule is just an array of menu indices, compact to store in
+    frontiers and trivially replayable.
+
+    Both window families and the corruption menu are closed under pid
+    permutation, which the symmetry reduction in {!Explore} relies on
+    (the orbit of an in-menu schedule must stay in-menu). *)
+
+type tamper = { src : int; mask : int }
+(** Rewrite every message emitted by [src] during the window:
+    destination [d] receives the payload with its bit forced to
+    [(mask lsr d) land 1].  [mask = 0] and [mask = 2^n - 1] are the
+    consistent rewrites; anything in between is equivocation. *)
+
+type choice = {
+  index : int;  (** position in [choices]; [-1] for permuted images *)
+  window : Dsim.Window.t;
+  recv_masks : int array;
+      (** [recv_masks.(dst)] has bit [src] set iff [src] is in [S_dst] *)
+  resets : int list;
+  tamper : tamper option;
+}
+
+type t = {
+  n : int;
+  fault_bound : int;
+  family : [ `Uniform | `Full ];
+  corrupt : int;
+  choices : choice array;
+}
+
+val build :
+  n:int -> t:int -> family:[ `Uniform | `Full ] -> corrupt:int -> t
+(** The full menu in a fixed deterministic order.  [`Uniform] pairs
+    every silenced set (popcount [<= t], shared receive set) with every
+    reset set; [`Full] enumerates independent per-processor receive
+    masks of popcount [>= n - t].  Each window is then paired with
+    every tamper: [None] first, then per corrupt source ascending,
+    destination masks ascending. *)
+
+val size : t -> int
+
+val choice : t -> int -> choice
+(** [choice menu i] is the [i]-th entry; raises on out-of-range. *)
+
+val validate_all : t -> bool
+(** Every window in the menu passes {!Dsim.Window.validate} — i.e. the
+    menu enumerates only Definition-1-acceptable windows. *)
+
+val permute_bits : int array -> int -> int
+(** [permute_bits pi m] relabels a pid bit-mask: bit [i] of [m] becomes
+    bit [pi.(i)]. *)
+
+val permute_choice : n:int -> int array -> choice -> choice
+(** The image of a choice under a pid permutation: receive sets,
+    resets, and the tamper's source and destination mask are all
+    relabeled.  The result is always an element of the same menu
+    (closure), with [index = -1]. *)
+
+val pp_choice : Format.formatter -> choice -> unit
+
+val choice_to_string : choice -> string
+(** Renders like ["S={012} R={} corrupt(src=0,bits=1)"] — the notation
+    used in counterexample timelines. *)

@@ -1,0 +1,198 @@
+(* The checkable-model registry: each entry packs a protocol with the
+   safety predicate the explorer enforces on it — the decision quorum
+   and the validity rule — plus instantiability checks, so the CLI,
+   the tests and the repro table all drive the same definitions.
+
+   Mutants live here too.  A mutant is the same protocol with one
+   threshold broken (the classic mutation-testing move); the explorer
+   must find a minimal violating schedule for each, which is the
+   negative control proving the checker can actually see bugs. *)
+
+type packed = Packed : ('s, 'm) Dsim.Protocol.t -> packed
+
+type t = {
+  name : string;
+  describe : string;
+  mutant : bool;
+  packed : packed;
+  quorum : n:int -> t:int -> int;
+  valid : inputs:bool array -> corrupt:int -> bool -> bool;
+  feasible : n:int -> t:int -> (unit, string) result;
+  notes : n:int -> t:int -> corrupt:int -> string list;
+  pinned : int;
+      (* protocol-distinguished pid prefix (an RBC origin): the symmetry
+         reduction must fix these pids pointwise, see Explore.options *)
+}
+
+(* Binary consensus validity: a decided value must be some non-corrupt
+   processor's input (corrupt sources are the prefix [0, corrupt)). *)
+let consensus_valid ~inputs ~corrupt v =
+  let n = Array.length inputs in
+  let ok = ref false in
+  for i = corrupt to n - 1 do
+    if Bool.equal inputs.(i) v then ok := true
+  done;
+  !ok
+
+(* Reliable-broadcast validity: whatever is accepted for a correct
+   origin's instance must be the origin's input; a corrupt origin may
+   get anything accepted. *)
+let rbc_valid ~origin ~inputs ~corrupt v =
+  origin < corrupt || Bool.equal inputs.(origin) v
+
+let ok_if cond msg = if cond then Ok () else Error msg
+
+let no_notes ~n:_ ~t:_ ~corrupt:_ = []
+
+let resilience_notes ~crash ~byz ~name ~n ~t ~corrupt =
+  List.concat
+    [
+      (if t > crash n then
+         [
+           Printf.sprintf
+             "t = %d exceeds %s's tolerated silencing bound %d at n = %d; \
+              violations may be genuine protocol behaviour"
+             t name (crash n) n;
+         ]
+       else []);
+      (if corrupt > 0 && corrupt > byz n then
+         [
+           Printf.sprintf
+             "%d corrupt source(s) exceed %s's Byzantine resilience %d at \
+              n = %d; violations may be genuine protocol behaviour"
+             corrupt name (byz n) n;
+         ]
+       else []);
+    ]
+
+let ben_or_like ~name ~mutant ~describe protocol =
+  {
+    name;
+    describe;
+    mutant;
+    packed = Packed protocol;
+    quorum = (fun ~n ~t -> n - t);
+    valid = consensus_valid;
+    feasible =
+      (fun ~n ~t ->
+        ok_if (n >= (2 * t) + 1)
+          (Printf.sprintf
+             "ben-or's majority logic needs n >= 2t + 1 (got n = %d, t = %d)" n
+             t));
+    notes =
+      resilience_notes ~name
+        ~crash:(fun n -> (n - 1) / 2)
+        ~byz:(fun n -> (n - 1) / 5);
+    pinned = 0;
+  }
+
+let bracha_like ~name ~mutant ~describe protocol =
+  {
+    name;
+    describe;
+    mutant;
+    packed = Packed protocol;
+    quorum = (fun ~n:_ ~t -> (2 * t) + 1);
+    valid = consensus_valid;
+    (* Bracha instantiates and runs below n = 3t + 1; exceeding the
+       resilience bound is reported through [notes], not an error, so
+       the explorer can probe such points deliberately. *)
+    feasible = (fun ~n ~t -> ok_if (n >= t + 1) "bracha needs n >= t + 1");
+    notes =
+      resilience_notes ~name
+        ~crash:(fun n -> (n - 1) / 3)
+        ~byz:(fun n -> (n - 1) / 3);
+    pinned = 0;
+  }
+
+let rbc_like ~name ~mutant ~describe protocol =
+  {
+    name;
+    describe;
+    mutant;
+    packed = Packed protocol;
+    quorum = (fun ~n:_ ~t -> (2 * t) + 1);
+    valid = rbc_valid ~origin:0;
+    feasible = (fun ~n:_ ~t:_ -> Ok ());
+    notes =
+      resilience_notes ~name
+        ~crash:(fun n -> (n - 1) / 3)
+        ~byz:(fun n -> (n - 1) / 3);
+    pinned = 1;
+  }
+
+let all =
+  [
+    ben_or_like ~name:"ben-or" ~mutant:false
+      ~describe:"Ben-Or binary consensus (decide on t+1 matching proposals)"
+      (Protocols.Ben_or.protocol ());
+    bracha_like ~name:"bracha" ~mutant:false
+      ~describe:"Bracha agreement over reliable broadcast"
+      (Protocols.Bracha.protocol ());
+    {
+      name = "lewko";
+      describe = "the paper's Section 3 variant (Theorem 4 thresholds)";
+      mutant = false;
+      packed = Packed (Protocols.Lewko_variant.protocol ());
+      quorum = (fun ~n ~t -> n - (2 * t));
+      valid = consensus_valid;
+      feasible =
+        (fun ~n ~t ->
+          ok_if
+            (Protocols.Thresholds.feasible ~n ~t)
+            (Printf.sprintf
+               "no valid thresholds: lewko needs t < n / 6 (got n = %d, \
+                t = %d; try --t 0)"
+               n t));
+      notes = no_notes;
+      pinned = 0;
+    };
+    rbc_like ~name:"rbc" ~mutant:false
+      ~describe:"a single reliable-broadcast instance (origin 0)"
+      (Protocols.Rbc_once.protocol ());
+    ben_or_like ~name:"ben-or!quorum-1" ~mutant:true
+      ~describe:"MUTANT: Ben-Or deciding on a single matching proposal"
+      (Protocols.Ben_or.protocol ~name:"ben-or!quorum-1"
+         ~decide_quorum:(fun ~n:_ ~t:_ -> 1)
+         ());
+    bracha_like ~name:"bracha!quorum-t" ~mutant:true
+      ~describe:
+        "MUTANT: Bracha with every 2t+1-style quorum (validated echoes, \
+         readies, accepts, matching Dec votes) lowered to t"
+      (Protocols.Bracha.protocol ~name:"bracha!quorum-t"
+         ~decide_quorum:(fun ~n:_ ~t -> max 1 t)
+         ~rbc_echo_quorum:(fun ~n:_ ~t -> max 1 t)
+         ~rbc_ready_resend:(fun ~n:_ ~t -> max 1 t)
+         ~rbc_accept_quorum:(fun ~n:_ ~t -> max 1 t)
+         ());
+    rbc_like ~name:"rbc!quorum-t" ~mutant:true
+      ~describe:
+        "MUTANT: reliable broadcast going ready on one echo and accepting \
+         on t readies"
+      (Protocols.Rbc_once.protocol ~name:"rbc!quorum-t"
+         ~rbc_ready_resend:(fun ~n:_ ~t:_ -> 1)
+         ~rbc_accept_quorum:(fun ~n:_ ~t -> max 1 t)
+         ());
+  ]
+
+let names = List.map (fun m -> m.name) all
+let find name = List.find_opt (fun m -> String.equal m.name name) all
+
+let options m ~n ~t =
+  { (Explore.default_options ~n ~t ~quorum:(m.quorum ~n ~t)) with
+    Explore.pinned = m.pinned }
+
+let run m (opts : Explore.options) =
+  (match m.feasible ~n:opts.Explore.n ~t:opts.Explore.t with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Mcheck.Model.run: " ^ e));
+  match m.packed with
+  | Packed protocol -> Explore.run ~protocol ~valid:m.valid opts
+
+let replay m (opts : Explore.options) ~inputs schedule =
+  match m.packed with
+  | Packed protocol -> Explore.replay_schedule ~protocol ~opts ~inputs schedule
+
+let schedule_state m (opts : Explore.options) ~inputs schedule =
+  match m.packed with
+  | Packed protocol -> Explore.schedule_state ~protocol ~opts ~inputs schedule

@@ -55,3 +55,5 @@ let float t =
   float_of_int bits53 *. (1.0 /. 9007199254740992.0)
 
 let int64_seed_of_int n = mix64 (Int64.of_int n)
+
+let raw_state t = t.state

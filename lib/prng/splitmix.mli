@@ -41,3 +41,10 @@ val float : t -> float
 
 val int64_seed_of_int : int -> int64
 (** Convenience: expand an [int] seed into a well-mixed 64-bit seed. *)
+
+val raw_state : t -> int64
+(** The current internal state word, unmodified.  Two generators with
+    equal raw states produce identical future outputs; model-checking
+    configuration fingerprints include it so memoized deduplication
+    never merges configurations that could still diverge by coin
+    flips. *)

@@ -65,3 +65,5 @@ let sample_without_replacement t k n =
     idx.(j) <- tmp
   done;
   List.sort compare (Array.to_list (Array.sub idx 0 k))
+
+let fingerprint t = Printf.sprintf "%Lx" (Splitmix.raw_state t)

@@ -42,6 +42,7 @@ type state = {
   id : int;
   n : int;
   fault_bound : int;
+  decide_at : int;  (* matching proposals needed to decide; t+1 unless mutated *)
   input : bool;
   output : bool option;
   resets : int;
@@ -83,7 +84,7 @@ let finish_report_phase state =
    agreeing proposals, adopt on one, flip a coin on none. *)
 let finish_propose_phase state rng =
   let tally = proposals_for state state.round in
-  let decide_at = state.fault_bound + 1 in
+  let decide_at = state.decide_at in
   let output =
     match state.output with
     | Some _ as existing -> existing
@@ -130,12 +131,13 @@ let rec advance state rng =
         advance (finish_propose_phase state rng) rng
       else state
 
-let fresh ~n ~t ~id ~input ~resets =
+let fresh ?decide_at ~n ~t ~id ~input ~resets () =
   let state =
     {
       id;
       n;
       fault_bound = t;
+      decide_at = (match decide_at with None -> t + 1 | Some d -> d);
       input;
       output = None;
       resets;
@@ -151,8 +153,6 @@ let fresh ~n ~t ~id ~input ~resets =
     state with
     outbox_rev = [ Dsim.Step.Broadcast (Report { round = 1; value = input }) ];
   }
-
-let init ~n ~t ~id ~input = fresh ~n ~t ~id ~input ~resets:0
 
 (* One reversal per drain of the (short) send list: broadcasts are
    single [Step.Broadcast] values, not n envelopes.
@@ -176,8 +176,8 @@ let on_deliver state ~src message rng =
    input.  Its output bit survives, per the model. *)
 let on_reset state =
   let restarted =
-    fresh ~n:state.n ~t:state.fault_bound ~id:state.id ~input:state.input
-      ~resets:(state.resets + 1)
+    fresh ~decide_at:state.decide_at ~n:state.n ~t:state.fault_bound
+      ~id:state.id ~input:state.input ~resets:(state.resets + 1) ()
   in
   { restarted with output = state.output }
 
@@ -216,10 +216,13 @@ let pp_message ppf = function
 
 let pp_state ppf state = Dsim.Obs.pp ppf (observe state)
 
-let protocol () =
+let protocol ?(name = "ben-or") ?decide_quorum () =
   {
-    Dsim.Protocol.name = "ben-or";
-    init;
+    Dsim.Protocol.name = name;
+    init =
+      (fun ~n ~t ~id ~input ->
+        let decide_at = Option.map (fun f -> f ~n ~t) decide_quorum in
+        fresh ?decide_at ~n ~t ~id ~input ~resets:0 ());
     outgoing;
     on_deliver;
     on_reset;

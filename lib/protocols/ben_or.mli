@@ -19,10 +19,18 @@ type message =
 
 type state
 
-val protocol : unit -> (state, message) Dsim.Protocol.t
+val protocol :
+  ?name:string ->
+  ?decide_quorum:(n:int -> t:int -> int) ->
+  unit ->
+  (state, message) Dsim.Protocol.t
 (** Resets are handled by restarting from the input bit (the protocol
     is not designed for the resetting model; its [reset_resilience] is
-    0, and E1 measures what actually happens). *)
+    0, and E1 measures what actually happens).
+
+    [decide_quorum] overrides the [t + 1] matching-proposal decision
+    threshold — a mutation-testing hook for the model checker's
+    negative suite; give the mutant a distinct [name]. *)
 
 (* White-box accessors for tests. *)
 val round_of_state : state -> int

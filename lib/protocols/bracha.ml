@@ -30,6 +30,7 @@ type state = {
   id : int;
   n : int;
   fault_bound : int;
+  decide_at : int;  (* matching [Dec v] needed to decide; 2t+1 unless mutated *)
   input : bool;
   output : bool option;
   resets : int;
@@ -156,7 +157,7 @@ let finish_phase state tally rng =
   | 3 ->
       let dec_true = tally.dec_t in
       let dec_false = tally.dec_f in
-      let decide_at = (2 * state.fault_bound) + 1 in
+      let decide_at = state.decide_at in
       let adopt_at = state.fault_bound + 1 in
       let output =
         match state.output with
@@ -181,19 +182,20 @@ let rec advance state rng =
   if tally_total tally >= quorum state then advance (finish_phase state tally rng) rng
   else state
 
-let init_with ~validated ~n ~t ~id ~input =
+let init_with ?decide_at ~validated ~rbc ~n ~t ~id ~input () =
   let state =
     {
       id;
       n;
       fault_bound = t;
+      decide_at = (match decide_at with None -> (2 * t) + 1 | Some d -> d);
       input;
       output = None;
       resets = 0;
       round = 1;
       phase = 1;
       x = input;
-      rbc = Reliable_broadcast.create ~n ~t ~self:id ~equal:vote_equal;
+      rbc;
       validated;
       admitted = Int_map.empty;
       tallies = Int_map.empty;
@@ -228,11 +230,14 @@ let on_deliver state ~src message rng =
   in
   advance state rng
 
-(* Like Ben-Or, Bracha has no re-join procedure: restart from input. *)
+(* Like Ben-Or, Bracha has no re-join procedure: restart from input.
+   [reset_like] keeps the RBC parameters (including any deliberately
+   mutated thresholds) while clearing its instances. *)
 let on_reset state =
   let restarted =
-    init_with ~validated:state.validated ~n:state.n ~t:state.fault_bound ~id:state.id
-      ~input:state.input
+    init_with ~decide_at:state.decide_at ~validated:state.validated
+      ~rbc:(Reliable_broadcast.reset_like state.rbc) ~n:state.n
+      ~t:state.fault_bound ~id:state.id ~input:state.input ()
   in
   { restarted with output = state.output; resets = state.resets + 1 }
 
@@ -283,10 +288,27 @@ let pp_state ppf state = Dsim.Obs.pp ppf (observe state)
 let rewrite_vote vote bit =
   match vote with Val _ -> Val bit | Dec _ -> Dec bit
 
-let protocol ?(validated = false) () =
+let protocol ?(validated = false) ?name ?decide_quorum ?rbc_echo_quorum
+    ?rbc_ready_resend ?rbc_accept_quorum () =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> if validated then "bracha-validated" else "bracha"
+  in
+  let apply_quorum f ~n ~t = Option.map (fun g -> g ~n ~t) f in
   {
-    Dsim.Protocol.name = (if validated then "bracha-validated" else "bracha");
-    init = (fun ~n ~t ~id ~input -> init_with ~validated ~n ~t ~id ~input);
+    Dsim.Protocol.name = name;
+    init =
+      (fun ~n ~t ~id ~input ->
+        let rbc =
+          Reliable_broadcast.create
+            ?echo_quorum:(apply_quorum rbc_echo_quorum ~n ~t)
+            ?ready_resend:(apply_quorum rbc_ready_resend ~n ~t)
+            ?accept_quorum:(apply_quorum rbc_accept_quorum ~n ~t)
+            ~n ~t ~self:id ~equal:vote_equal ()
+        in
+        init_with ?decide_at:(apply_quorum decide_quorum ~n ~t) ~validated ~rbc
+          ~n ~t ~id ~input ());
     outgoing;
     on_deliver;
     on_reset;

@@ -36,13 +36,24 @@ type 'p t = {
   fault_bound : int;
   self : int;
   equal : 'p -> 'p -> bool;  (* payload equality; never polymorphic [=] *)
+  echo_quorum : int;
+  ready_resend : int;
+  accept_quorum : int;
   instances : 'p inst Key_map.t;
   started : Int_set.t;  (* tags this processor already originated *)
 }
 
-let create ~n ~t ~self ~equal =
-  { n; fault_bound = t; self; equal; instances = Key_map.empty;
-    started = Int_set.empty }
+let create ?echo_quorum ?ready_resend ?accept_quorum ~n ~t ~self ~equal () =
+  let dflt v = function None -> v | Some v' -> v' in
+  { n; fault_bound = t; self; equal;
+    echo_quorum = dflt (((n + t) / 2) + 1) echo_quorum;
+    ready_resend = dflt (t + 1) ready_resend;
+    accept_quorum = dflt ((2 * t) + 1) accept_quorum;
+    instances = Key_map.empty; started = Int_set.empty }
+
+(* Mutation-testing hook: a fresh state sharing this one's parameters
+   (including any deliberately broken thresholds). *)
+let reset_like t = { t with instances = Key_map.empty; started = Int_set.empty }
 
 (* A uniform send is a single [Step.Broadcast] value: the engine
    stores it once and expands per-destination envelopes lazily, so
@@ -75,9 +86,9 @@ let rec tally_count equal payload = function
   | [] -> 0
   | (p, k) :: rest -> if equal p payload then k else tally_count equal payload rest
 
-let echo_quorum t = ((t.n + t.fault_bound) / 2) + 1
-let ready_resend t = t.fault_bound + 1
-let accept_quorum t = (2 * t.fault_bound) + 1
+let echo_quorum t = t.echo_quorum
+let ready_resend t = t.ready_resend
+let accept_quorum t = t.accept_quorum
 
 (* Evaluate an instance's thresholds after new evidence arrived; returns
    the updated instance, messages to send, and the acceptance if new. *)

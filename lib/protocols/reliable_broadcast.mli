@@ -27,10 +27,30 @@ type 'p msg =
   | Ready of { origin : int; tag : int; payload : 'p }
 
 val create :
-  n:int -> t:int -> self:int -> equal:('p -> 'p -> bool) -> 'p t
+  ?echo_quorum:int ->
+  ?ready_resend:int ->
+  ?accept_quorum:int ->
+  n:int ->
+  t:int ->
+  self:int ->
+  equal:('p -> 'p -> bool) ->
+  unit ->
+  'p t
 (** [equal] decides when two payloads match for quorum counting; it
     must be a structural, deterministic equality (polymorphic [=] is
-    banned in this subtree by lint rule R7). *)
+    banned in this subtree by lint rule R7).
+
+    The optional thresholds override the sound defaults — matching
+    echoes needed to send [Ready] ([(n + t) / 2 + 1]), matching
+    [Ready]s that trigger a relayed [Ready] ([t + 1]), and matching
+    [Ready]s needed to accept ([2t + 1]).  They exist for
+    mutation-style negative tests: the model checker deliberately
+    weakens them and must then find a violating schedule. *)
+
+val reset_like : 'p t -> 'p t
+(** A fresh state with the same parameters (n, t, self, equality, and
+    any overridden thresholds): what a resetting processor restarts
+    with. *)
 
 val broadcast : 'p t -> tag:int -> 'p -> 'p t * 'p msg Dsim.Step.send list
 (** Start an instance as origin: the [Initial] send (a single

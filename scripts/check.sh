@@ -129,6 +129,46 @@ else
 fi
 rm -f "$bench_out"
 
+echo "check: --mcheck smoke (exhaustive model checker)"
+# bin/mcheck.exe mirrors the lint CLI contract: 0 = every reachable
+# configuration within the bounds is safe, 1 = a violation (the mutants
+# MUST hit this), 2 = usage or infeasible instance.
+mcheck="_build/default/bin/mcheck.exe"
+expect 0 "$mcheck" --protocol bracha -n 3 -t 1 --depth 3
+expect 1 "$mcheck" --protocol ben-or!quorum-1 -n 3 -t 1 --depth 2 --corrupt 1
+expect 1 "$mcheck" --protocol rbc!quorum-t -n 3 -t 1 --depth 3 --corrupt 1
+expect 2 "$mcheck" --protocol no-such-protocol -n 3 -t 1
+expect 2 "$mcheck" --protocol lewko -n 3 -t 1   # infeasible: lewko needs t < n/6
+expect 2 "$mcheck" --protocol bracha -n 3 -t 1 --corrupt 2  # corrupt > t
+echo "check: mcheck exit-code matrix ok (0 safe / 1 violation / 2 error)"
+
+# The pinned deep counterexample: the all-quorums-at-t Bracha mutant
+# must conflict on the 9-window equivocation replay, and sound Bracha
+# must survive the identical schedule.
+expect 1 "$mcheck" --protocol bracha!quorum-t -n 3 -t 1 --corrupt 1 \
+  --inputs 010 --replay "3;3;3;3;3;3;3;3;3"
+expect 0 "$mcheck" --protocol bracha -n 3 -t 1 --corrupt 1 \
+  --inputs 010 --replay "3;3;3;3;3;3;3;3;3"
+echo "check: pinned bracha!quorum-t counterexample replays deterministically"
+
+# Frontier sharding determinism: the explorer's JSON report (which
+# includes the canonical state census and the minimal counterexample)
+# must be byte-identical across -j 1 / -j 2.
+mcheck_dir=$(mktemp -d)
+"$mcheck" --protocol rbc!quorum-t -n 3 -t 1 --depth 3 --corrupt 1 \
+  --jobs 1 --format json > "$mcheck_dir/j1.json" || true
+"$mcheck" --protocol rbc!quorum-t -n 3 -t 1 --depth 3 --corrupt 1 \
+  --jobs 2 --format json > "$mcheck_dir/j2.json" || true
+if cmp -s "$mcheck_dir/j1.json" "$mcheck_dir/j2.json"; then
+  echo "check: mcheck -j 1 and -j 2 reports are byte-identical"
+else
+  echo "check: FAIL — mcheck frontier sharding is not deterministic" >&2
+  diff "$mcheck_dir/j1.json" "$mcheck_dir/j2.json" >&2 || true
+  rm -rf "$mcheck_dir"
+  exit 1
+fi
+rm -rf "$mcheck_dir"
+
 echo "check: differential -j smoke (experiments --quick)"
 out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT

@@ -273,10 +273,13 @@ let test_iter_for_take_during_iteration () =
 
 let ref_validate ~n ~t (w : Dsim.Window.t) =
   let in_range p = p >= 0 && p < n in
+  let first_out_of_range ps = List.find_opt (fun p -> not (in_range p)) ps in
   let check_set i s =
-    if List.exists (fun p -> not (in_range p)) s then
-      Error (Printf.sprintf "S_%d contains an out-of-range pid" i)
-    else if List.length s < n - t then
+    match first_out_of_range s with
+    | Some p ->
+        Error (Printf.sprintf "S_%d contains out-of-range pid %d (n = %d)" i p n)
+    | None ->
+    if List.length s < n - t then
       Error
         (Printf.sprintf "S_%d has %d senders; need >= n - t = %d" i
            (List.length s) (n - t))
@@ -292,9 +295,12 @@ let ref_validate ~n ~t (w : Dsim.Window.t) =
       (Printf.sprintf "window resets %d processors; at most t = %d allowed"
          (List.length w.Dsim.Window.resets)
          t)
-  else if List.exists (fun p -> not (in_range p)) w.Dsim.Window.resets then
-    Error "reset set contains an out-of-range pid"
   else
+    match first_out_of_range w.Dsim.Window.resets with
+    | Some p ->
+        Error
+          (Printf.sprintf "reset set contains out-of-range pid %d (n = %d)" p n)
+    | None ->
     let rec check i =
       if i >= n then Ok ()
       else
