@@ -3,6 +3,7 @@
      lint [--root DIR] [--dir lib --dir bin ...] [--format human|json|sarif]
      lint --typed [--root DIR] [--baseline FILE]
      lint --cost [--root DIR] [--baseline FILE]
+     lint --quorum [--root DIR] [--baseline FILE]
      lint --check FILE          # all layers on one standalone source
      lint --explain R8
 
@@ -10,9 +11,12 @@
    checks the syntactic rules R1-R6.  Layer 2 (--typed) reads the
    *.cmt typed trees of the built project and checks R7-R10; layer 3
    (--cost) reads the same trees and checks the hot-path cost rules
-   R11-R14; both require `dune build` to have run.  Exit codes: 0
-   clean, 1 rule violations, 2 read/parse/load errors — so any layer
-   can gate CI via `dune build @lint` / `@lint-typed` / `@lint-cost`. *)
+   R11-R14; layer 5 (--quorum) proves the quorum-threshold arithmetic
+   R15-R18 symbolically for all n, t; all three cmt layers require
+   `dune build` to have run.  Exit codes: 0 clean, 1 rule violations,
+   2 read/parse/load errors — so any layer can gate CI via
+   `dune build @lint` / `@lint-typed` / `@lint-cost` /
+   `@lint-quorum`. *)
 
 open Cmdliner
 
@@ -58,12 +62,13 @@ let check_file format file =
       in
       let typed = Lintkit.Typed_lint.check_source ~path:file source in
       let cost = Lintkit.Cost_lint.check_source ~path:file source in
+      let quorum = Lintkit.Quorum_lint.check_source ~path:file source in
       let diagnostics, errors =
         List.fold_left
           (fun (ds, es) -> function
             | Ok d -> (ds @ d, es)
             | Error e -> (ds, es @ [ e ]))
-          ([], []) [ static; typed; cost ]
+          ([], []) [ static; typed; cost; quorum ]
       in
       let report =
         {
@@ -76,7 +81,7 @@ let check_file format file =
       render format report;
       exit_code report
 
-let run root dirs format explain typed cost baseline check =
+let run root dirs format explain typed cost quorum baseline check =
   match explain with
   | Some id -> (
       match Lintkit.Rules.of_id id with
@@ -87,18 +92,23 @@ let run root dirs format explain typed cost baseline check =
             (match Lintkit.Rules.layer rule with
             | `Static -> "syntactic"
             | `Typed -> "typed"
-            | `Cost -> "cost")
+            | `Cost -> "cost"
+            | `Quorum -> "quorum")
             (Lintkit.Rules.describe rule);
           0
       | None ->
-          Format.eprintf "unknown rule %S (expected R1..R14)@." id;
+          Format.eprintf "unknown rule %S (expected R1..R18)@." id;
           2)
   | None -> (
       match check with
       | Some file -> check_file format file
       | None ->
           let report =
-            if cost then
+            if quorum then
+              Lintkit.Driver.scan_quorum
+                ~dirs:(if dirs = [] then [ "lib" ] else dirs)
+                ~root ()
+            else if cost then
               Lintkit.Driver.scan_cost
                 ~dirs:(if dirs = [] then [ "lib" ] else dirs)
                 ~root ()
@@ -146,7 +156,7 @@ let format =
 
 let explain =
   Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"RULE"
-         ~doc:"Print the rationale for one rule (R1..R10) and exit.")
+         ~doc:"Print the rationale for one rule (R1..R18) and exit.")
 
 let typed =
   Arg.(value & flag & info [ "typed" ]
@@ -159,6 +169,12 @@ let cost =
          ~doc:"Run the hot-path cost layer (R11..R14) over the *.cmt trees \
                of the built project instead of the syntactic layer. \
                Requires a prior $(b,dune build).")
+
+let quorum =
+  Arg.(value & flag & info [ "quorum" ]
+         ~doc:"Run the symbolic quorum-safety layer (R15..R18) over the \
+               *.cmt trees of the built project instead of the syntactic \
+               layer. Requires a prior $(b,dune build).")
 
 let baseline =
   Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
@@ -173,11 +189,11 @@ let check =
 
 let cmd =
   let doc =
-    "determinism & hot-path linter (syntactic + typed + cost) for the \
-     agreement reproduction"
+    "determinism, hot-path & quorum-safety linter (syntactic + typed + \
+     cost + quorum) for the agreement reproduction"
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run $ root $ dirs $ format $ explain $ typed $ cost $ baseline
-          $ check)
+    Term.(const run $ root $ dirs $ format $ explain $ typed $ cost $ quorum
+          $ baseline $ check)
 
 let () = exit (Cmd.eval' cmd)

@@ -861,6 +861,113 @@ let summarize ?(config = default_config) units =
   Hashtbl.fold (fun id cost acc -> (id, cost) :: acc) summaries []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* ------------------------------------------------------------------ *)
+(* R15: recursion that escapes R11.  R11 judges each site; a recursive
+   function whose every site is cheap (in-SCC calls count O(1)) still
+   carries a super-logarithmic per-call summary once the component
+   nests under the data-dependent iteration.  Reported by the quorum
+   layer, which owns the rule, but computed here where the scans and
+   summaries live. *)
+
+let recursion_findings ?(config = default_config) units =
+  let graph = Callgraph.build units in
+  let fns = Callgraph.fns graph in
+  let scans = Hashtbl.create (List.length fns) in
+  List.iter
+    (fun (fn : Callgraph.fn) ->
+      Hashtbl.replace scans fn.id
+        (scan_function ~exempt_modules:config.exempt_modules graph
+           ~current_module:fn.modname fn.body))
+    fns;
+  let summaries = compute_summaries ~overrides:config.overrides scans in
+  let seeds =
+    List.map (fun id -> (id, [], false)) config.hot_roots
+    @ transition_seeds config graph units
+  in
+  let hot_table = hot_walk ~overrides:config.overrides scans seeds in
+  let comp_of = Hashtbl.create 64 in
+  List.iter
+    (fun component ->
+      let recursive =
+        match component with
+        | [ single ] ->
+            List.exists
+              (fun s ->
+                match s.kind with
+                | Call fn -> fn.Callgraph.id = single
+                | _ -> false)
+              (match Hashtbl.find_opt scans single with
+              | Some scan -> scan.sites
+              | None -> [])
+        | _ -> true
+      in
+      List.iter
+        (fun id -> Hashtbl.replace comp_of id (component, recursive))
+        component)
+    (sccs scans);
+  let suppressions = Hashtbl.create (List.length units) in
+  List.iter
+    (fun (u : Cmt_loader.unit_info) ->
+      match u.source with
+      | Some source ->
+          Hashtbl.replace suppressions u.path
+            (Static_lint.suppressions_of_source source)
+      | None -> ())
+    units;
+  let diagnostics = ref [] in
+  List.iter
+    (fun (fn : Callgraph.fn) ->
+      match (Hashtbl.find_opt hot_table fn.id, Hashtbl.find_opt comp_of fn.id) with
+      | Some hot, Some (component, true)
+        when (not (List.mem_assoc fn.id config.overrides))
+             && Rules.applies Rules.R15 (Rules.scope_of_path fn.src_path) ->
+          let summary =
+            Option.value ~default:Costs.Const
+              (Hashtbl.find_opt summaries fn.id)
+          in
+          let body_max =
+            match Hashtbl.find_opt scans fn.id with
+            | None -> Costs.Const
+            | Some scan ->
+                List.fold_left
+                  (fun acc s -> Costs.join acc (site_cost summaries component s))
+                  Costs.Const scan.sites
+          in
+          if
+            Costs.compare summary r11_threshold > 0
+            && Costs.compare body_max r11_threshold <= 0
+          then begin
+            let start = fn.loc.Location.loc_start in
+            let line = start.Lexing.pos_lnum in
+            let silenced =
+              match Hashtbl.find_opt suppressions fn.src_path with
+              | Some table -> Static_lint.suppressed table ~line Rules.R15
+              | None -> false
+            in
+            if not silenced then
+              diagnostics :=
+                {
+                  Static_lint.path = fn.src_path;
+                  line;
+                  col = start.Lexing.pos_cnum - start.Lexing.pos_bol;
+                  rule = Rules.R15;
+                  message =
+                    Printf.sprintf
+                      "`%s` recurses on the hot path %s: every site in its \
+                       body costs at most %s, so R11 stays silent, but the \
+                       recursion makes it %s per call; bound the recursion \
+                       or declare an override with its justified amortized \
+                       cost"
+                      fn.id (pp_chain hot.chain)
+                      (Costs.to_string body_max)
+                      (Costs.to_string summary);
+                }
+                :: !diagnostics
+          end
+      | _ -> ())
+    fns;
+  List.sort_uniq Static_lint.compare_diagnostic !diagnostics
+
 let modname_of_path path =
   Filename.basename path |> Filename.remove_extension |> String.capitalize_ascii
 

@@ -75,3 +75,12 @@ val check_source :
 (** Typecheck a standalone source in memory and run the cost rules on
     it.  Fixtures declare their own hot roots via [config] (or build a
     [Protocol.t]-shaped record to exercise transition seeding). *)
+
+val recursion_findings :
+  ?config:config -> Cmt_loader.unit_info list -> Static_lint.diagnostic list
+(** Rule R15 — R11's blind spot: hot recursive functions whose every
+    site is at most O(log n) (in-SCC calls counted O(1)) but whose
+    per-call summary exceeds the threshold once the component nests
+    under the data-dependent iteration.  Owned and reported by the
+    quorum layer ({!Quorum_lint}); computed here where the scans and
+    summaries live.  Honours inline suppressions. *)

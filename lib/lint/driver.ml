@@ -110,6 +110,29 @@ let scan_cost ?config ?(dirs = [ "lib" ]) ~root () =
       files_scanned = List.length load.units;
     }
 
+(* Quorum layer (R15-R18) over the same cmt trees. *)
+
+let scan_quorum ?config ?(dirs = [ "lib" ]) ~root () =
+  let cmts = Cmt_loader.find_cmt_files ~dirs ~root () in
+  if cmts = [] then
+    {
+      diagnostics = [];
+      errors =
+        [ Printf.sprintf
+            "no .cmt files found under %S for %s; run `dune build` first \
+             (the quorum linter reads _build/default/**/*.cmt)"
+            root
+            (String.concat ", " dirs) ];
+      files_scanned = 0;
+    }
+  else
+    let load = Cmt_loader.load ~dirs ~root () in
+    {
+      diagnostics = Quorum_lint.analyze ?config load;
+      errors = load.load_errors;
+      files_scanned = List.length load.units;
+    }
+
 let ok report = report.diagnostics = [] && report.errors = []
 
 (* ------------------------------------------------------------------ *)

@@ -45,6 +45,15 @@ val scan_cost :
 (** Run the cost layer (R11-R14) over the same [*.cmt] trees as
     {!scan_typed}; identical cmt discovery and error behaviour. *)
 
+val scan_quorum :
+  ?config:Quorum_lint.config ->
+  ?dirs:string list ->
+  root:string ->
+  unit ->
+  report
+(** Run the quorum layer (R15-R18) over the same [*.cmt] trees as
+    {!scan_typed}; identical cmt discovery and error behaviour. *)
+
 (** {2 Baselines}
 
     A baseline file accepts known findings: [RULE<TAB>PATH<TAB>MESSAGE]

@@ -1,6 +1,10 @@
-type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13 | R14
+type t =
+  | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13 | R14
+  | R15 | R16 | R17 | R18
 
-let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13; R14 ]
+let all =
+  [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13; R14;
+    R15; R16; R17; R18 ]
 
 let id = function
   | R1 -> "R1"
@@ -17,6 +21,10 @@ let id = function
   | R12 -> "R12"
   | R13 -> "R13"
   | R14 -> "R14"
+  | R15 -> "R15"
+  | R16 -> "R16"
+  | R17 -> "R17"
+  | R18 -> "R18"
 
 let of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -34,12 +42,17 @@ let of_id s =
   | "R12" -> Some R12
   | "R13" -> Some R13
   | "R14" -> Some R14
+  | "R15" -> Some R15
+  | "R16" -> Some R16
+  | "R17" -> Some R17
+  | "R18" -> Some R18
   | _ -> None
 
 let layer = function
   | R1 | R2 | R3 | R4 | R5 | R6 -> `Static
   | R7 | R8 | R9 | R10 -> `Typed
   | R11 | R12 | R13 | R14 -> `Cost
+  | R15 | R16 | R17 | R18 -> `Quorum
 
 let title = function
   | R1 -> "ambient nondeterminism source"
@@ -56,6 +69,10 @@ let title = function
   | R12 -> "unbounded allocation in hot code"
   | R13 -> "quorum/receive-set re-scan in a protocol transition"
   | R14 -> "eager uniform fan-out materialization"
+  | R15 -> "hot recursion exceeding the cost threshold"
+  | R16 -> "quorum thresholds fail the intersection arithmetic"
+  | R17 -> "decision not dominated by a quorum-threshold comparison"
+  | R18 -> "declared resilience bound exceeds what the thresholds support"
 
 let describe = function
   | R1 ->
@@ -165,6 +182,49 @@ let describe = function
        destination gets the same payload.  Where a lazy or batched send \
        is available, use it; where the protocol interface forces a list, \
        the justification must say so at the site."
+  | R15 ->
+      "The cost layer's documented blind spot, closed: a recursive \
+       function whose cost comes from the recursion itself has no \
+       super-constant primitive site for R11-R14 to report, so a hot \
+       O(depth) scan written as a bare `let rec` sailed through.  R15 \
+       flags any hot-set function in a recursive call-graph component \
+       whose computed summary exceeds the hot-path threshold while every \
+       non-self site in its body is within it - i.e. the recursion alone \
+       pushes it over.  The finding is reported at the function header \
+       (there is no introducing site); suppress there with a bound on \
+       the recursion depth, or restructure to an incremental counter."
+  | R16 ->
+      "Quorum-intersection arithmetic, proved for every n and t rather \
+       than model-checked for n <= 5: each protocol's thresholds are \
+       extracted from the typed tree as symbolic expressions in n and t \
+       (constant-folding through Thresholds.default/relaxed, let-aliases \
+       and exact floor division) and the per-family obligations are \
+       discharged over the declared resilience region - two decision \
+       quorums intersect in at least t+1 correct pids, quorums of honest \
+       senders are reachable (threshold <= n - t), and phase hand-off \
+       inequalities (e.g. Theorem 4's n - 2t >= T1 >= T2 >= T3 + t, \
+       2*T3 > n) hold.  A failure names a concrete witness (n, t) \
+       inside the region where the obligation breaks."
+  | R17 ->
+      "No ungated decide: every transition that writes a decision (or \
+       adopts a value for the next phase) must be dominated by a tally \
+       comparison against one of the extracted thresholds, and that \
+       threshold must not be satisfiable by the t faulty processors \
+       alone (there must be no region point with t >= 1 faults where \
+       threshold <= t, else the adversary can manufacture the quorum \
+       single-handedly).  The structural half catches a decide moved \
+       out from under its guard; the arithmetic half catches a guard \
+       lowered until it is no guard at all."
+  | R18 ->
+      "The resilience bound a protocol registers (the model registry's \
+       resilience notes, e.g. byzantine t <= (n-1)/3 for Bracha) must \
+       match what its instantiated thresholds actually support: the R16 \
+       obligations are re-discharged for the construction site's \
+       thresholds (custom quorum hooks included) over the registered \
+       region.  A registry entry that advertises more tolerance than \
+       the arithmetic delivers is exactly the mismatch the !quorum \
+       mutants exhibit, and it is caught here statically - the bounded \
+       model checker's dynamic counterexamples are the cross-check."
 
 type scope = {
   top : [ `Lib | `Bin | `Bench | `Examples | `Other ];
@@ -216,9 +276,20 @@ let applies rule scope =
       match scope.sub with
       | Some ("prng" | "lint") -> false  (* the implementation itself *)
       | _ -> true)
-  | R11 | R12 | R13 | R14 ->
+  | R11 | R12 | R13 | R14 | R15 ->
       (* Membership in the hot set, not the path, decides whether the
          cost rules fire; the path gate only keeps the linter itself and
-         non-library trees out of scope. *)
+         non-library trees out of scope.  R15 shares the gate: it is the
+         cost layer's recursion blind spot, emitted by the quorum pass. *)
       scope.top = `Lib
       && (match scope.sub with Some "lint" -> false | _ -> true)
+  | R16 | R17 | R18 -> (
+      (* Threshold definitions live in lib/protocols; construction sites
+         with custom quorum hooks and registered resilience bounds live
+         in the model registry (lib/mcheck) and wherever else protocols
+         are instantiated under lib/. *)
+      scope.top = `Lib
+      &&
+      match scope.sub with
+      | Some ("lint" | "prng" | "stats") -> false
+      | _ -> true)

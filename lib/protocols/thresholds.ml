@@ -16,7 +16,9 @@ let default ~n ~t =
   match validate ~n ~t candidate with
   | Ok () -> candidate
   | Error message ->
-      invalid_arg (Printf.sprintf "Thresholds.default: infeasible for n=%d t=%d (%s)" n t message)
+      Protocol_error.raise_error
+        (Infeasible_thresholds
+           { who = "Thresholds.default"; n; t; reason = message })
 
 let feasible ~n ~t =
   match validate ~n ~t { t1 = n - (2 * t); t2 = n - (2 * t); t3 = n - (3 * t) } with
@@ -35,6 +37,8 @@ let relaxed ~n ~t =
   match validate ~n ~t candidate with
   | Ok () -> candidate
   | Error message ->
-      invalid_arg (Printf.sprintf "Thresholds.relaxed: infeasible for n=%d t=%d (%s)" n t message)
+      Protocol_error.raise_error
+        (Infeasible_thresholds
+           { who = "Thresholds.relaxed"; n; t; reason = message })
 
 let pp ppf th = Format.fprintf ppf "T1=%d T2=%d T3=%d" th.t1 th.t2 th.t3

@@ -37,6 +37,60 @@ else
   exit 1
 fi
 
+echo "check: quorum lint (R15-R18) SARIF report"
+dune build @lint-quorum
+# The alias scope excludes lib/mcheck (intentional negative-control
+# mutants, gated below); the baseline is wired and deliberately empty,
+# so any finding here is a real threshold-arithmetic regression.
+quorum_dirs="--dir lib/adversary --dir lib/core --dir lib/dsim \
+  --dir lib/lowerbound --dir lib/prng --dir lib/protocols \
+  --dir lib/shmem --dir lib/stats --dir lib/syncsim"
+# shellcheck disable=SC2086
+if dune exec bin/lint.exe -- --quorum $quorum_dirs \
+     --baseline lint/quorum-baseline.tsv --format sarif > lint-quorum.sarif
+then
+  echo "check: quorum arithmetic proven (empty baseline), SARIF written to lint-quorum.sarif"
+else
+  echo "check: FAIL — quorum lint reported findings or errors (see lint-quorum.sarif)" >&2
+  exit 1
+fi
+
+echo "check: quorum lint negative controls (!quorum mutants must be flagged)"
+# The full-tree scan (lib/ including lib/mcheck) must report exactly
+# the three registry mutants — each caught by all of R16 (quorum
+# intersection), R17 (fault-set-met decide gate) and R18 (registry
+# resilience bound) — and nothing else.  A mutant that scans clean
+# means the analyzer lost precision; an extra finding means a sound
+# protocol regressed.
+quorum_json=$(mktemp)
+set +e
+dune exec bin/lint.exe -- --quorum --root . --format json > "$quorum_json"
+quorum_exit=$?
+set -e
+if [ "$quorum_exit" -ne 1 ]; then
+  echo "check: FAIL — full-tree --quorum exited $quorum_exit (want 1: mutant findings)" >&2
+  rm -f "$quorum_json"
+  exit 1
+fi
+for mutant in 'ben-or!quorum-1' 'bracha!quorum-t' 'rbc!quorum-t'; do
+  for rule in R16 R17 R18; do
+    if ! grep -q "\"rule\":\"$rule\",\"message\":\"$mutant:" "$quorum_json"; then
+      echo "check: FAIL — $mutant not flagged by $rule in full-tree --quorum scan" >&2
+      rm -f "$quorum_json"
+      exit 1
+    fi
+  done
+done
+if grep -o '"path":"[^"]*"' "$quorum_json" | grep -v '"path":"lib/mcheck/model.ml"' \
+     | grep -q .; then
+  echo "check: FAIL — full-tree --quorum flagged a file other than the mutant registry" >&2
+  grep -o '"path":"[^"]*"' "$quorum_json" | sort -u >&2
+  rm -f "$quorum_json"
+  exit 1
+fi
+rm -f "$quorum_json"
+echo "check: all three !quorum mutants flagged (R16+R17+R18), sound tree clean"
+
 echo "check: lint CLI exit-code matrix (all layers)"
 fixture_dir=$(mktemp -d)
 # Clean file: no determinism-rule violations at either layer.
@@ -96,7 +150,27 @@ let _p = { Protocol.on_deliver = handle }
 EOF
 expect 1 "$lint" --check "$cost_bad_dir/lib/protocols/rescan.ml"
 expect 2 "$lint" --cost --root "$fixture_dir"
-rm -rf "$fixture_dir" "$static_bad_dir" "$cost_bad_dir"
+# Quorum layer: a hot recursive function whose every site is O(1) —
+# R11's blind spot, caught by R15 (the layer's cost rule) via --check;
+# the full-tree scan exits 1 on the intentional mutants, the
+# alias-scoped scan exits 0, and a cmt-less root is the error case.
+quorum_bad_dir=$(mktemp -d)
+mkdir -p "$quorum_bad_dir/lib/protocols"
+cat > "$quorum_bad_dir/lib/protocols/drain.ml" <<'EOF'
+module Protocol = struct
+  type t = { on_deliver : int list -> int }
+end
+
+let rec drain = function [] -> 0 | _ :: rest -> 1 + drain rest
+let _p = { Protocol.on_deliver = drain }
+EOF
+expect 1 "$lint" --check "$quorum_bad_dir/lib/protocols/drain.ml"
+expect 1 "$lint" --quorum --root .
+# shellcheck disable=SC2086
+expect 0 "$lint" --quorum --root . $quorum_dirs \
+  --baseline lint/quorum-baseline.tsv
+expect 2 "$lint" --quorum --root "$fixture_dir"
+rm -rf "$fixture_dir" "$static_bad_dir" "$cost_bad_dir" "$quorum_bad_dir"
 echo "check: exit-code matrix ok (0 clean / 1 findings / 2 errors)"
 
 echo "check: bench exit-code matrix + --quick regression smoke"

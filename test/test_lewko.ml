@@ -207,13 +207,10 @@ let test_state_core_distinguishes () =
 let test_custom_thresholds_validated () =
   let bad = { Protocols.Thresholds.t1 = 7; t2 = 7; t3 = 7 } in
   let p = Protocols.Lewko_variant.protocol ~thresholds:bad () in
-  let raised =
-    try
-      ignore (p.Dsim.Protocol.init ~n:7 ~t:1 ~id:0 ~input:true);
-      false
-    with Invalid_argument _ -> true
-  in
-  Alcotest.(check bool) "invalid thresholds rejected at init" true raised
+  Alcotest.check_raises "invalid thresholds rejected at init"
+    (Invalid_argument
+       "Lewko_variant.init: infeasible for n=7 t=1 (need n - 2t >= T1)")
+    (fun () -> ignore (p.Dsim.Protocol.init ~n:7 ~t:1 ~id:0 ~input:true))
 
 let suite =
   [

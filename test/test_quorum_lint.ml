@@ -1,0 +1,370 @@
+(* Layer 5 of the determinism lint: the symbolic quorum-safety
+   analyzer (R15-R18).  Fixture twins per rule (flagged / clean)
+   typechecked in memory; agreement of the symbolic region with
+   [Thresholds.feasible] at the t = n/6 boundary; a run over the real
+   tree that must flag exactly the three !quorum registry mutants (each
+   by R16, R17 and R18) and nothing else; the extraction view of every
+   family's thresholds; and the static/dynamic cross-check — each
+   statically flagged mutant replays its pinned mcheck counterexample
+   to a real agreement violation, and the sound protocol survives the
+   identical schedule. *)
+
+open Lintkit
+
+let rules_of ds = List.map (fun d -> Rules.id d.Static_lint.rule) ds
+
+let check_rules what expected ds =
+  Alcotest.(check (list string)) what expected (rules_of ds)
+
+let quorum_diags ~path source =
+  match Quorum_lint.check_source ~path source with
+  | Ok ds -> ds
+  | Error e -> Alcotest.failf "fixture failed to typecheck: %s" e
+
+let messages ds = String.concat "\n" (List.map (fun d -> d.Static_lint.message) ds)
+
+let contains haystack needle =
+  Option.is_some (Static_lint.find_substring haystack needle 0)
+
+(* ------------------------------------------------------------------ *)
+(* R15: hot recursion under R11's per-site radar.                      *)
+
+let r15_fixture ~suppressed =
+  Printf.sprintf
+    {|module Protocol = struct
+  type t = { on_deliver : int list -> int }
+end
+
+%slet rec drain = function [] -> 0 | _ :: rest -> 1 + drain rest
+let _p = { Protocol.on_deliver = drain }
+|}
+    (if suppressed then "(* lint: allow R15 *)\n" else "")
+
+let test_r15_hot_recursion () =
+  let ds =
+    quorum_diags ~path:"lib/protocols/fx.ml" (r15_fixture ~suppressed:false)
+  in
+  check_rules "hot recursion with O(1) sites flagged" [ "R15" ] ds;
+  Alcotest.(check bool)
+    "message explains the R11 blind spot" true
+    (contains (messages ds) "R11 stays silent")
+
+let test_r15_clean_twins () =
+  check_rules "inline suppression honoured" []
+    (quorum_diags ~path:"lib/protocols/fx.ml" (r15_fixture ~suppressed:true));
+  (* The same recursion off the hot path is not a finding. *)
+  check_rules "cold recursion is fine" []
+    (quorum_diags ~path:"lib/protocols/fx.ml"
+       "let rec drain = function [] -> 0 | _ :: rest -> 1 + drain rest\n\
+        let _use = drain");
+  (* A hot recursive function whose body already exceeds the threshold
+     is R11's finding, not R15's. *)
+  let ds =
+    quorum_diags ~path:"lib/protocols/fx.ml"
+      "module Protocol = struct\n\
+      \  type t = { on_deliver : int list -> int }\n\
+       end\n\n\
+       let rec drain xs =\n\
+      \  match xs with [] -> 0 | _ :: rest -> List.length xs + drain rest\n\
+       let _p = { Protocol.on_deliver = drain }"
+  in
+  Alcotest.(check bool)
+    "no R15 when a site already exceeds the threshold" true
+    (not (List.mem "R15" (rules_of ds)))
+
+(* ------------------------------------------------------------------ *)
+(* R16/R17 fixtures: a minimal Ben-Or-shaped module (the path makes
+   bare [protocol] applications Ben-Or construction sites), one sound
+   and one with the decide quorum lowered to 1.                        *)
+
+let ben_or_fixture ?(default = "t + 1") ~site () =
+  Printf.sprintf
+    {|type state = { n : int; fault_bound : int; decide_at : int }
+type props = { byzantine_resilience : int -> int }
+type t = { init : n:int -> t:int -> state; props : props }
+
+let wait_quorum state = state.n - state.fault_bound
+
+let fresh ?decide_at ~n ~t () =
+  {
+    n;
+    fault_bound = t;
+    decide_at = (match decide_at with None -> %s | Some d -> d);
+  }
+
+let finish_propose_phase state tally =
+  ignore (wait_quorum state);
+  if tally >= state.decide_at then Some true else None
+
+let protocol ?decide_quorum () =
+  {
+    init =
+      (fun ~n ~t ->
+        let decide_at = Option.map (fun f -> f ~n ~t) decide_quorum in
+        fresh ?decide_at ~n ~t ());
+    props = { byzantine_resilience = (fun n -> (n - 1) / 5) };
+  }
+
+%s
+|}
+    default site
+
+let test_r16_r17_mutant_site () =
+  let ds =
+    quorum_diags ~path:"lib/protocols/ben_or.ml"
+      (ben_or_fixture
+         ~site:"let _mutant = protocol ~decide_quorum:(fun ~n:_ ~t:_ -> 1) ()"
+         ())
+  in
+  check_rules "decide quorum of 1 breaks intersection and the decide gate"
+    [ "R16"; "R17" ] ds;
+  Alcotest.(check bool)
+    "R16 names the failed obligation" true
+    (contains (messages ds) "decide quorum above the fault bound");
+  Alcotest.(check bool)
+    "R17 exhibits a fault-set witness" true
+    (contains (messages ds) "met by the fault set alone")
+
+let test_r16_r17_sound_twins () =
+  check_rules "sound site is clean" []
+    (quorum_diags ~path:"lib/protocols/ben_or.ml"
+       (ben_or_fixture ~site:"let _sound = protocol ()" ()));
+  check_rules "strengthened hook is clean" []
+    (quorum_diags ~path:"lib/protocols/ben_or.ml"
+       (ben_or_fixture
+          ~site:
+            "let _strong = protocol ~decide_quorum:(fun ~n:_ ~t -> (2 * t) + 1) ()"
+          ()))
+
+let test_r16_bad_default () =
+  (* Lowering the *default* (no construction site needed) is also a
+     finding: the family's synthetic default check catches it. *)
+  let ds =
+    quorum_diags ~path:"lib/protocols/ben_or.ml"
+      (ben_or_fixture ~default:"t" ~site:"let _sound = protocol ()" ())
+  in
+  Alcotest.(check bool) "default of t fails decide >= t+1" true
+    (List.mem "R16" (rules_of ds))
+
+(* ------------------------------------------------------------------ *)
+(* Region agreement with Theorem 4's calculus at t = n/6 +- 1.         *)
+
+let lewko_region =
+  (* max_fault_bound's (n - 1) / 6 >= t, plus the ambient bounds. *)
+  Symexpr.[ ge (div (sub n_ (int_ 1)) 6) t_; t_; ge n_ (int_ 1) ]
+
+let admits region ~n ~t =
+  List.for_all (fun c -> Symexpr.eval ~n ~t c >= 0) region
+
+let test_region_matches_feasible () =
+  (* At every n, the symbolic Theorem 4 region admits (n, t) exactly
+     when [Thresholds.feasible] accepts it — probed at the boundary
+     t = max_fault_bound(n) and one to either side. *)
+  for n = 7 to 80 do
+    let tb = Protocols.Thresholds.max_fault_bound ~n in
+    List.iter
+      (fun t ->
+        if t >= 0 then
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d t=%d" n t)
+            (Protocols.Thresholds.feasible ~n ~t)
+            (admits lewko_region ~n ~t))
+      [ tb - 1; tb; tb + 1 ]
+  done
+
+let test_region_verdicts () =
+  (* The decision procedure agrees with the calculus on the same
+     region: 2*T3 > n holds over 6t < n, and weakening the region to
+     t <= n/6 produces a witness the calculus also rejects. *)
+  let t3 = Symexpr.(sub n_ (scale 3 t_)) in
+  let goal = Symexpr.(gt (scale 2 t3) n_) in
+  (match Symexpr.implies ~region:lewko_region goal with
+  | Symexpr.Holds -> ()
+  | _ -> Alcotest.fail "2*T3 > n must hold for 6t < n");
+  let weak = Symexpr.[ ge (div n_ 6) t_; t_; ge n_ (int_ 1) ] in
+  match Symexpr.implies ~region:weak goal with
+  | Symexpr.Fails { n; t } ->
+      Alcotest.(check bool) "witness infeasible for the calculus" false
+        (Protocols.Thresholds.feasible ~n ~t)
+  | _ -> Alcotest.fail "t <= n/6 admits the 2*T3 = n degeneracy"
+
+(* ------------------------------------------------------------------ *)
+(* The real tree: exactly the three !quorum mutants, each R16+R17+R18. *)
+
+let find_root () =
+  let rec up dir n =
+    if n = 0 then None
+    else if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib")
+    then Some dir
+    else up (Filename.dirname dir) (n - 1)
+  in
+  up (Sys.getcwd ()) 5
+
+let real_units =
+  lazy
+    (match find_root () with
+    | None -> None
+    | Some root ->
+        let load = Cmt_loader.load ~dirs:[ "lib" ] ~root () in
+        if load.Cmt_loader.load_errors <> [] then
+          Alcotest.failf "cmt load errors: %s"
+            (String.concat "; " load.Cmt_loader.load_errors);
+        Some load.Cmt_loader.units)
+
+let mutants = [ "ben-or!quorum-1"; "bracha!quorum-t"; "rbc!quorum-t" ]
+
+let test_real_tree_mutants_flagged () =
+  match Lazy.force real_units with
+  | None -> ()
+  | Some units ->
+      let ds = Quorum_lint.analyze_units units in
+      List.iter
+        (fun d ->
+          Alcotest.(check string)
+            "every finding lands in the mutant registry" "lib/mcheck/model.ml"
+            d.Static_lint.path)
+        ds;
+      List.iter
+        (fun mutant ->
+          let flagged =
+            List.filter (fun d -> contains d.Static_lint.message (mutant ^ ":")) ds
+            |> rules_of |> List.sort_uniq compare
+          in
+          Alcotest.(check (list string))
+            (mutant ^ " flagged by all three rules")
+            [ "R16"; "R17"; "R18" ] flagged)
+        mutants;
+      Alcotest.(check int) "three mutants x three rules, nothing else" 9
+        (List.length ds)
+
+let test_real_tree_sound_families_clean () =
+  match Lazy.force real_units with
+  | None -> ()
+  | Some units ->
+      let ds = Quorum_lint.analyze_units units in
+      List.iter
+        (fun sound ->
+          Alcotest.(check bool) (sound ^ " has no findings") false
+            (List.exists
+               (fun d -> contains d.Static_lint.message sound)
+               ds))
+        [ "ben-or:"; "bracha:"; "rbc:"; "lewko:" ]
+
+let test_real_tree_extractions () =
+  match Lazy.force real_units with
+  | None -> ()
+  | Some units ->
+      let extractions = Quorum_lint.extractions units in
+      let family key =
+        match
+          List.find_opt (fun e -> e.Quorum_lint.e_family = key) extractions
+        with
+        | Some e -> e
+        | None -> Alcotest.failf "family %s not extracted" key
+      in
+      let affine fam key =
+        match List.assoc_opt key fam.Quorum_lint.e_defaults with
+        | Some (Ok e) -> (
+            match Symexpr.as_affine e with
+            | Some a -> a
+            | None -> Alcotest.failf "%s not affine" key)
+        | Some (Error why) -> Alcotest.failf "%s: %s" key why
+        | None -> Alcotest.failf "no default for %s" key
+      in
+      (* Ben-Or: decide_at = t + 1, wait_quorum = n - t. *)
+      Alcotest.(check (triple int int int))
+        "ben-or decide_at" (0, 1, 1)
+        (affine (family "ben-or") "decide_at");
+      Alcotest.(check (triple int int int))
+        "ben-or wait_quorum" (1, -1, 0)
+        (affine (family "ben-or") "wait_quorum");
+      (* RBC accept quorum: 2t + 1. *)
+      Alcotest.(check (triple int int int))
+        "rbc accept quorum" (0, 2, 1)
+        (affine (family "rbc") "rbc_accept_quorum");
+      (* Lewko: Theorem 4's T3 = n - 3t, over the 6t < n region that
+         must agree with [Thresholds.feasible] at the boundary. *)
+      Alcotest.(check (triple int int int))
+        "lewko t3" (1, -3, 0)
+        (affine (family "lewko") "t3");
+      let lewko = family "lewko" in
+      for n = 7 to 40 do
+        let tb = Protocols.Thresholds.max_fault_bound ~n in
+        List.iter
+          (fun t ->
+            if t >= 0 then
+              Alcotest.(check bool)
+                (Printf.sprintf "lewko region n=%d t=%d" n t)
+                (Protocols.Thresholds.feasible ~n ~t)
+                (admits lewko.Quorum_lint.e_region ~n ~t))
+          [ tb; tb + 1 ]
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Static/dynamic cross-check: each statically flagged mutant replays
+   its pinned mcheck counterexample to a real violation; sound Bracha
+   survives the identical schedule.                                    *)
+
+let replay name ~inputs ~schedule f =
+  match Mcheck.Model.find name with
+  | None -> Alcotest.failf "model %s not registered" name
+  | Some m ->
+      let opts =
+        let o = Mcheck.Model.options m ~n:3 ~t:1 in
+        { o with Mcheck.Explore.corrupt = 1 }
+      in
+      f (Mcheck.Model.replay m opts ~inputs schedule)
+
+let test_static_verdicts_match_dynamic () =
+  (match Lazy.force real_units with
+  | None -> ()
+  | Some units ->
+      let ds = Quorum_lint.analyze_units units in
+      List.iter
+        (fun mutant ->
+          Alcotest.(check bool) (mutant ^ " statically flagged") true
+            (List.exists
+               (fun d -> contains d.Static_lint.message (mutant ^ ":"))
+               ds))
+        mutants);
+  (* ben-or!quorum-1: schedule 0;2 on all-zero inputs decides 1. *)
+  replay "ben-or!quorum-1" ~inputs:[| false; false; false |]
+    ~schedule:[| 0; 2 |] (fun report ->
+      Alcotest.(check bool) "ben-or mutant decides invalid value" true
+        (List.exists (fun (_, d) -> d) report.Mcheck.Explore.final_decisions));
+  (* rbc!quorum-t: three benign windows plus a rewrite conflict. *)
+  replay "rbc!quorum-t" ~inputs:[| false; false; false |]
+    ~schedule:[| 0; 0; 2 |] (fun report ->
+      Alcotest.(check bool) "rbc mutant conflicts" true
+        report.Mcheck.Explore.conflict);
+  (* bracha!quorum-t: the 9-window constant equivocation replay. *)
+  let schedule = Array.make 9 3 in
+  let inputs = [| false; true; false |] in
+  replay "bracha!quorum-t" ~inputs ~schedule (fun report ->
+      Alcotest.(check bool) "bracha mutant conflicts" true
+        report.Mcheck.Explore.conflict);
+  replay "bracha" ~inputs ~schedule (fun report ->
+      Alcotest.(check bool) "sound bracha survives" false
+        report.Mcheck.Explore.conflict)
+
+let suite =
+  [
+    Alcotest.test_case "R15 hot recursion flagged" `Quick test_r15_hot_recursion;
+    Alcotest.test_case "R15 clean twins" `Quick test_r15_clean_twins;
+    Alcotest.test_case "R16/R17 mutant site" `Quick test_r16_r17_mutant_site;
+    Alcotest.test_case "R16/R17 sound twins" `Quick test_r16_r17_sound_twins;
+    Alcotest.test_case "R16 bad default" `Quick test_r16_bad_default;
+    Alcotest.test_case "region matches Thresholds.feasible" `Quick
+      test_region_matches_feasible;
+    Alcotest.test_case "region verdicts vs calculus" `Quick test_region_verdicts;
+    Alcotest.test_case "real tree: mutants flagged" `Quick
+      test_real_tree_mutants_flagged;
+    Alcotest.test_case "real tree: sound families clean" `Quick
+      test_real_tree_sound_families_clean;
+    Alcotest.test_case "real tree: extraction view" `Quick
+      test_real_tree_extractions;
+    Alcotest.test_case "static verdicts match pinned dynamic replays" `Quick
+      test_static_verdicts_match_dynamic;
+  ]

@@ -76,6 +76,35 @@ let test_relaxed () =
   Alcotest.(check bool) "relaxed T2 below default T2" true
     (th.Protocols.Thresholds.t2 <= default.Protocols.Thresholds.t2)
 
+let test_error_taxonomy () =
+  (* The typed [Protocol_error] taxonomy renders the exact messages the
+     constructors raise; these strings are API, pinned here. *)
+  Alcotest.check_raises "default infeasible message"
+    (Invalid_argument "Thresholds.default: infeasible for n=6 t=1 (need 2*T3 > n)")
+    (fun () -> ignore (Protocols.Thresholds.default ~n:6 ~t:1));
+  Alcotest.check_raises "relaxed infeasible message"
+    (Invalid_argument "Thresholds.relaxed: infeasible for n=6 t=1 (need T1 >= T2)")
+    (fun () -> ignore (Protocols.Thresholds.relaxed ~n:6 ~t:1));
+  Alcotest.(check string) "origin variant renders who only"
+    "Rbc_once.protocol: origin out of range"
+    (Protocols.Protocol_error.to_string
+       (Origin_out_of_range { who = "Rbc_once.protocol"; origin = 9; n = 4 }));
+  Alcotest.(check string) "arity variant renders who only"
+    "Committee.run: |inputs| <> n"
+    (Protocols.Protocol_error.to_string
+       (Input_arity_mismatch { who = "Committee.run"; expected = 5; got = 3 }));
+  Alcotest.(check string) "infeasible variant carries n, t, reason"
+    "Lewko_variant.init: infeasible for n=7 t=1 (need 2*T3 > n)"
+    (Protocols.Protocol_error.to_string
+       (Infeasible_thresholds
+          { who = "Lewko_variant.init"; n = 7; t = 1; reason = "need 2*T3 > n" }))
+
+let test_rbc_origin_out_of_range () =
+  let p = Protocols.Rbc_once.protocol ~origin:5 () in
+  Alcotest.check_raises "origin >= n rejected"
+    (Invalid_argument "Rbc_once.protocol: origin out of range") (fun () ->
+      ignore (p.Dsim.Protocol.init ~n:4 ~t:1 ~id:0 ~input:true))
+
 let suite =
   [
     Alcotest.test_case "default satisfies constraints" `Quick
@@ -86,4 +115,7 @@ let suite =
     Alcotest.test_case "max fault bound" `Quick test_max_fault_bound;
     Alcotest.test_case "validate each constraint" `Quick test_validate_each_constraint;
     Alcotest.test_case "relaxed" `Quick test_relaxed;
+    Alcotest.test_case "error taxonomy messages" `Quick test_error_taxonomy;
+    Alcotest.test_case "rbc origin out of range" `Quick
+      test_rbc_origin_out_of_range;
   ]
