@@ -1,14 +1,24 @@
+(* The candidate menu depends only on (n, t), and the strategy asks for
+   it once per window: memoize the last menu so the 2n + 1 windows are
+   built once per run, not once per window. *)
+let candidates_memo : (int * int * Dsim.Window.t list) option ref = ref None
+
 let default_candidates config =
   let n = Dsim.Engine.n config and t = Dsim.Engine.fault_bound config in
-  let block start = List.init t (fun i -> (start + i) mod n) in
-  let silencers =
-    List.init n (fun start -> Dsim.Window.uniform ~n ~silenced:(block start) ())
-  in
-  let resetters =
-    List.init n (fun start ->
-        Dsim.Window.uniform ~n ~silenced:(block start) ~resets:(block start) ())
-  in
-  (Dsim.Window.uniform ~n () :: silencers) @ resetters
+  match !candidates_memo with
+  | Some (n', t', windows) when n' = n && t' = t -> windows
+  | _ ->
+      let block start = List.init t (fun i -> (start + i) mod n) in
+      let silencers =
+        List.init n (fun start -> Dsim.Window.uniform ~n ~silenced:(block start) ())
+      in
+      let resetters =
+        List.init n (fun start ->
+            Dsim.Window.uniform ~n ~silenced:(block start) ~resets:(block start) ())
+      in
+      let windows = (Dsim.Window.uniform ~n () :: silencers) @ resetters in
+      candidates_memo := Some (n, t, windows);
+      windows
 
 let estimate_decision_probability config window ~samples ~horizon rng =
   let hits = ref 0 in

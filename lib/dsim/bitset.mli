@@ -40,6 +40,19 @@ val of_list : capacity:int -> int list -> t
     elements (callers keep the original list when they need to detect
     them, cf. {!Window.validate}). *)
 
+val of_int_mask : capacity:int -> int -> t
+(** Builds a set from a word-sized bit mask: member [i] iff bit [i] of
+    the mask is set and [i < capacity].  This is the bridge from the
+    model checker's [int] receive masks (n <= 62) to window masks
+    without materializing an intermediate pid list.  Raises
+    [Invalid_argument] on a negative mask or a capacity outside
+    [0, Sys.int_size]. *)
+
+val equal : t -> t -> bool
+(** Same members; capacities may differ (trailing absent members are
+    ignored).  O(capacity / word-size) — the batched window-application
+    path uses this to detect runs of identical uniform windows. *)
+
 val cardinal : t -> int
 val cardinal_below : t -> int -> int
 (** [cardinal_below t limit] is [|t ∩ \[0, limit)|]. *)

@@ -24,7 +24,7 @@ type ('s, 'm) t = {
 }
 
 let init ~protocol ~n ~fault_bound ~inputs ~seed ?(record_events = false)
-    ?(track_deliveries = false) () =
+    ?sink ?(track_deliveries = false) () =
   if Array.length inputs <> n then invalid_arg "Engine.init: |inputs| <> n";
   if n <= 0 then invalid_arg "Engine.init: n must be positive";
   if fault_bound < 0 || fault_bound >= n then
@@ -50,7 +50,7 @@ let init ~protocol ~n ~fault_bound ~inputs ~seed ?(record_events = false)
     next_msg_id = 0;
     step_index = 0;
     window_index = 0;
-    trace = Trace.create ~record_events;
+    trace = Trace.create ?sink ~record_events ();
   }
 
 let copy t =
@@ -214,33 +214,39 @@ let do_send t p =
     List.iter (fun send -> enqueue_send t p depth send) sends
   end
 
+(* Deliver an envelope already removed from the mailbox: the tail of
+   [do_deliver], shared with the batched sweep whose [Mailbox.drain_for]
+   removes envelopes as it visits them. *)
+let deliver_taken t (envelope : _ Envelope.t) =
+  let id = envelope.Envelope.id in
+  let dst = envelope.Envelope.dst in
+  if t.crashed.(dst) then
+    Trace.record t.trace (Trace.Dropped { msg_id = id })
+  else begin
+    let before = output t dst in
+    t.states.(dst) <-
+      t.protocol.Protocol.on_deliver t.states.(dst) ~src:envelope.Envelope.src
+        envelope.Envelope.payload t.rngs.(dst);
+    t.receive_depths.(dst) <- max t.receive_depths.(dst) envelope.Envelope.depth;
+    if t.track_deliveries then
+      t.recent_deliveries.(dst) <-
+        (envelope.Envelope.src, envelope.Envelope.payload)
+        :: t.recent_deliveries.(dst);
+    Trace.record t.trace
+      (Trace.Delivered
+         {
+           src = envelope.Envelope.src;
+           dst;
+           msg_id = id;
+           depth = envelope.Envelope.depth;
+         });
+    note_decision t dst before
+  end
+
 let do_deliver t id =
   match Mailbox.take t.mailbox id with
   | None -> invalid_arg (Printf.sprintf "Engine: deliver of unknown message #%d" id)
-  | Some envelope ->
-      let dst = envelope.Envelope.dst in
-      if t.crashed.(dst) then
-        Trace.record t.trace (Trace.Dropped { msg_id = id })
-      else begin
-        let before = output t dst in
-        t.states.(dst) <-
-          t.protocol.Protocol.on_deliver t.states.(dst) ~src:envelope.Envelope.src
-            envelope.Envelope.payload t.rngs.(dst);
-        t.receive_depths.(dst) <- max t.receive_depths.(dst) envelope.Envelope.depth;
-        if t.track_deliveries then
-          t.recent_deliveries.(dst) <-
-            (envelope.Envelope.src, envelope.Envelope.payload)
-            :: t.recent_deliveries.(dst);
-        Trace.record t.trace
-          (Trace.Delivered
-             {
-               src = envelope.Envelope.src;
-               dst;
-               msg_id = id;
-               depth = envelope.Envelope.depth;
-             });
-        note_decision t dst before
-      end
+  | Some envelope -> deliver_taken t envelope
 
 let do_reset t p =
   if not t.crashed.(p) then begin
@@ -301,9 +307,71 @@ let apply_window t ?(drop_undelivered = true) ?tamper window =
     Mailbox.iter_ids_in_range t.mailbox ~from:fresh_from ~til:fresh_to
       (fun id -> apply t (Step.Drop id));
   (* Phase 3: at most t resetting steps. *)
-  List.iter (fun p -> apply t (Step.Reset p)) window.Window.resets;
+  List.iter (fun p -> apply t (Step.Reset p)) (Window.resets window);
   t.window_index <- t.window_index + 1;
   Trace.record t.trace (Trace.Window_closed { index = t.window_index })
+
+(* Fused sweep over a run of [count] consecutive uniform windows that
+   share [mask] and reset nobody: one batch-condition check for the
+   whole run, delivery through [Mailbox.drain_for] (visit + remove in a
+   single merge walk, direct mask membership instead of the
+   [Window.allows] indirection), and bulk window accounting at the end.
+   Step-for-step identical to [count] [apply_window] calls — same
+   sends, same ascending delivery order, same freshness checks, same
+   drop sweep, same counter arithmetic — which the kernel-diff suite's
+   batched-vs-sequential differential pins down. *)
+let apply_uniform_run t ~drop_undelivered ~mask count =
+  let allow src = Bitset.mem mask src in
+  for _ = 1 to count do
+    let fresh_from = t.next_msg_id in
+    for p = 0 to t.n - 1 do
+      apply t (Step.Send p)
+    done;
+    let fresh_to = t.next_msg_id in
+    for dst = 0 to t.n - 1 do
+      Mailbox.drain_for t.mailbox ~dst ~from:fresh_from ~til:fresh_to ~allow
+        (fun e ->
+          t.step_index <- t.step_index + 1;
+          deliver_taken t e)
+    done;
+    if drop_undelivered then
+      Mailbox.iter_ids_in_range t.mailbox ~from:fresh_from ~til:fresh_to
+        (fun id -> apply t (Step.Drop id));
+    t.window_index <- t.window_index + 1
+  done;
+  Trace.record_windows_closed t.trace ~count
+
+(* A window joins a fused run iff it is uniform-represented (one shared
+   fully-packed mask), resets nobody and matches the engine's arity;
+   runs additionally require event recording to be off, because the
+   bulk accounting elides the interleaved [Window_closed] events. *)
+let fusable_mask t w =
+  if Window.arity w = t.n && Window.reset_count w = 0 then Window.uniform_mask w
+  else None
+
+let apply_windows t ?(drop_undelivered = true) windows =
+  let fuse_ok = not (Trace.recording_events t.trace) in
+  let rec go = function
+    | [] -> ()
+    | w :: rest -> (
+        match if fuse_ok then fusable_mask t w else None with
+        | None ->
+            apply_window t ~drop_undelivered w;
+            go rest
+        | Some mask ->
+            let rec extend count = function
+              | w2 :: tl ->
+                  (match fusable_mask t w2 with
+                  | Some m2 when m2 == mask || Bitset.equal m2 mask ->
+                      extend (count + 1) tl
+                  | Some _ | None -> (count, w2 :: tl))
+              | [] -> (count, [])
+            in
+            let count, rest = extend 1 rest in
+            apply_uniform_run t ~drop_undelivered ~mask count;
+            go rest)
+  in
+  go windows
 
 let deliver_all_pending t ~dst =
   Mailbox.iter_for t.mailbox ~dst (fun e ->

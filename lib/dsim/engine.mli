@@ -20,6 +20,7 @@ val init :
   inputs:bool array ->
   seed:int ->
   ?record_events:bool ->
+  ?sink:Trace.sink ->
   ?track_deliveries:bool ->
   unit ->
   ('s, 'm) t
@@ -27,7 +28,11 @@ val init :
     messages (not yet sent: the first [Send] steps flush them).
     [track_deliveries] (default [false]) turns on the per-delivery
     conditioning log behind {!recent_deliveries}; leave it off for
-    plain sweeps so the hot loop records nothing. *)
+    plain sweeps so the hot loop records nothing.  [sink] (default
+    in-memory) selects where recorded events go — pass a streamed
+    {!Trace.chunks} sink to keep multi-million-event audited runs at
+    O(chunk) live heap; remember to {!Trace.flush} the trace at end of
+    run. *)
 
 val copy : ('s, 'm) t -> ('s, 'm) t
 (** Deep copy: future steps on the copy do not affect the original.
@@ -140,6 +145,21 @@ val apply_window :
     range [\[from_id, til_id)]; it is the hook for in-transit Byzantine
     corruption ([Step.Corrupt] on fresh ids) and is what the model
     checker's corruption menu drives. *)
+
+val apply_windows : ('s, 'm) t -> ?drop_undelivered:bool -> Window.t list -> unit
+(** Apply the windows in order, exactly as repeated {!apply_window}
+    calls would — but runs of consecutive windows that share one
+    fully-packed uniform receive mask ({!Window.uniform_mask}) and
+    reset nobody are applied as one fused sweep: a single batch check,
+    delivery through the mailbox's fused visit-and-remove walk with
+    direct mask membership, and bulk trace accounting.  This is the
+    shape every n-sweep bench and fault-free agreement run emits.
+    Fusion silently falls back to per-window application when event
+    recording is on (the bulk accounting would elide the interleaved
+    [Window_closed] events) or when a window fails the batch
+    conditions; results are step-for-step identical either way.
+    Windows are not validated — callers run {!Window.validate} first,
+    as {!Runner.run_windows} does. *)
 
 val deliver_all_pending : ('s, 'm) t -> dst:int -> unit
 (** Deliver every pending message addressed to [dst], ascending id. *)

@@ -601,6 +601,61 @@ let pending_for t ~dst =
   iter_for t ~dst (fun e -> acc := e :: !acc);
   List.rev !acc
 
+(* [iter_for] fused with removal: visit dst's pending envelopes
+   ascending, and for each one with id in [from, til) whose source
+   passes [allow], remove it from the store {e before} the callback
+   runs.  One merge walk instead of a walk plus a per-envelope [take]
+   re-probe — the engine's batched uniform-window sweep runs on this. *)
+let drain_for t ~dst ~from ~til ~allow f =
+  if dst < 0 then invalid_arg "Mailbox.drain_for: negative dst";
+  let ucur = ref (if dst < Array.length t.heads then t.heads.(dst) else -1) in
+  let k = ref 0 in
+  let bc_candidate () =
+    let res = ref (-1) and scanning = ref true in
+    while !scanning do
+      if !k >= t.bc_len then scanning := false
+      else
+        match t.bcs.(!k) with
+        | Some bc when dst < bc.bc_count && Bitset.mem bc.bc_pending dst ->
+            res := !k;
+            scanning := false
+        | Some _ | None -> incr k
+    done;
+    !res
+  in
+  let running = ref true in
+  while !running do
+    let kb = bc_candidate () in
+    let uid = !ucur in
+    if uid < 0 && kb < 0 then running := false
+    else begin
+      let bc =
+        if kb < 0 then None
+        else match t.bcs.(kb) with Some _ as s -> s | None -> assert false
+      in
+      let bid = match bc with None -> max_int | Some b -> b.bc_first + dst in
+      if uid >= 0 && uid < bid then begin
+        let rel = uid - t.base in
+        ucur := t.nexts.(rel);
+        if uid >= from && uid < til && allow t.srcs.(rel) then begin
+          let env = env_of_slot t rel in
+          arena_remove t rel;
+          f env
+        end
+      end
+      else
+        match bc with
+        | Some b ->
+            incr k;
+            if bid >= from && bid < til && allow b.bc_src then begin
+              let env = env_of_bc b bid in
+              bc_remove t kb b bid;
+              f env
+            end
+        | None -> assert false
+    end
+  done
+
 (* Ascending walk over the pending ids in [from, til), merging the
    arena occupancy scan with the broadcast pending bits.  The callback
    may [take] (the engine's drop sweep does) but must not [add]; after

@@ -89,6 +89,23 @@ val iter_for : 'm t -> dst:int -> ('m Envelope.t -> unit) -> unit
     delivery loop does — but must not {!add} to this mailbox while the
     iteration runs. *)
 
+val drain_for :
+  'm t ->
+  dst:int ->
+  from:int ->
+  til:int ->
+  allow:(int -> bool) ->
+  ('m Envelope.t -> unit) ->
+  unit
+(** {!iter_for} fused with removal: visit the pending envelopes
+    addressed to [dst] in ascending-id order, and for each with id in
+    [\[from, til)] whose source passes [allow], remove it from the
+    store and then invoke the callback.  Envelopes outside the range or
+    not allowed stay pending and are skipped.  One merge walk instead
+    of an iteration plus per-envelope {!take} re-probes — the engine's
+    batched uniform-window sweep delivers through this.  The callback
+    must not {!add}.  Raises [Invalid_argument] on a negative [dst]. *)
+
 val iter_ids_in_range : 'm t -> from:int -> til:int -> (int -> unit) -> unit
 (** Visit the pending ids in [\[from, til)] ascending.  The callback
     may {!take} the visited id (the engine's drop sweep does) but must

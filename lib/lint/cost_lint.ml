@@ -39,12 +39,14 @@ let default_config =
   {
     hot_roots =
       [
-        "Engine.apply_window"; "Engine.deliver_all_pending";
+        "Engine.apply_window"; "Engine.apply_windows";
+        "Engine.deliver_all_pending";
         "Mailbox.add"; "Mailbox.add_unicast"; "Mailbox.add_broadcast";
         "Mailbox.take"; "Mailbox.find"; "Mailbox.mem";
         "Mailbox.replace_payload"; "Mailbox.iter_for";
-        "Mailbox.iter_ids_in_range";
+        "Mailbox.iter_ids_in_range"; "Mailbox.drain_for";
         "Window.make"; "Window.uniform"; "Window.hybrid"; "Window.allows";
+        "Window.receive_set_size"; "Window.uniform_mask";
       ];
     transition_fields = [ "outgoing"; "on_deliver"; "on_reset"; "output" ];
     overrides =
@@ -71,6 +73,10 @@ let default_config =
            its work is proportional to envelopes actually visited
            (each one an engine event), not to the id range. *)
         ("Mailbox.iter_ids_in_range", Costs.Const);
+        (* drain_for is iter_for fused with removal: one merge walk,
+           each visited envelope an engine event, removal O(1) per
+           envelope (unlink + pending-bit clear). *)
+        ("Mailbox.drain_for", Costs.Const);
         ("Mailbox.enqueue", Costs.Const);
         ("Mailbox.ensure_slot", Costs.Const);
         ("Mailbox.ensure_dst", Costs.Const);
@@ -90,12 +96,23 @@ let default_config =
         ("Bitset.of_list", Costs.Linear);
         ("Bitset.full", Costs.Linear);
         ("Bitset.copy", Costs.Linear);
+        ("Bitset.equal", Costs.Linear);
+        ("Bitset.cardinal", Costs.Linear);
+        ("Bitset.cardinal_below", Costs.Linear);
         ("Bitset.popcount_word", Costs.Const);
         (* Trace: the broadcast recorder bumps the sent counter once;
            the per-destination Sent events only materialize when event
            recording is on (diagnostic runs, never the hot bench
            path). *)
         ("Trace.record_broadcast", Costs.Const);
+        (* note_event only runs when event recording is on (audited
+           runs, never plain sweeps); per recorded event it renders one
+           bounded line, hashes its bytes, and amortizes the chunked
+           sink flush across chunk_bytes of output. *)
+        ("Trace.note_event", Costs.Const);
+        (* Bulk window accounting for the batched applier: one counter
+           add per fused run. *)
+        ("Trace.record_windows_closed", Costs.Const);
       ];
     exempt_modules = Effects.default_exempt_modules;
   }

@@ -50,10 +50,12 @@ let subsets_le ~n k =
 let receive_masks ~n ~t =
   List.filter (fun m -> popcount m >= n - t) (List.init (1 lsl n) (fun m -> m))
 
+(* Menu receive sets are already int masks (n <= 62), so windows go
+   straight to the bitset ground truth — no intermediate pid lists. *)
 let window_of_masks ~n recv resets_mask =
-  let receive_sets = Array.map (bits_of_mask ~n) recv in
+  let masks = Array.map (fun m -> Dsim.Bitset.of_int_mask ~capacity:n m) recv in
   let resets = bits_of_mask ~n resets_mask in
-  (Dsim.Window.make ~receive_sets ~resets, resets)
+  (Dsim.Window.of_masks ~resets masks, resets)
 
 (* All (receive-mask vector, reset mask) pairs of a family, in a fixed
    deterministic order: receive choices lexicographic by processor (S_0
@@ -133,11 +135,13 @@ let permute_bits pi m =
 let permute_choice ~n pi c =
   let recv = Array.make n 0 in
   Array.iteri (fun d m -> recv.(pi.(d)) <- permute_bits pi m) c.recv_masks;
-  let receive_sets = Array.map (bits_of_mask ~n) recv in
-  let resets = List.sort Int.compare (List.map (fun p -> pi.(p)) c.resets) in
+  let window, resets =
+    window_of_masks ~n recv
+      (List.fold_left (fun acc p -> acc lor (1 lsl pi.(p))) 0 c.resets)
+  in
   {
     index = -1;
-    window = Dsim.Window.make ~receive_sets ~resets;
+    window;
     recv_masks = recv;
     resets;
     tamper =

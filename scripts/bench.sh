@@ -7,7 +7,11 @@
 #                                     quota, gate on allocations only
 #   scripts/bench.sh --scaling        n-sweep scaling group only (the
 #                                     docs/BENCHMARKS.md "Scaling
-#                                     curves" tables), tiny quota, gate
+#                                     curves" tables, including the
+#                                     window-make-uniform sweep and the
+#                                     windows-batched / windows-unbatched
+#                                     twin whose word gap fences the
+#                                     batched applier), tiny quota, gate
 #                                     on allocations only — wall time
 #                                     at n = 10^4 is too host-dependent
 #                                     to fence

@@ -285,18 +285,18 @@ let ref_validate ~n ~t (w : Dsim.Window.t) =
            (List.length s) (n - t))
     else Ok ()
   in
-  if Array.length w.Dsim.Window.receive_sets <> n then
+  if Array.length (Dsim.Window.to_lists w) <> n then
     Error
       (Printf.sprintf "window has %d receive sets; need %d"
-         (Array.length w.Dsim.Window.receive_sets)
+         (Array.length (Dsim.Window.to_lists w))
          n)
-  else if List.length w.Dsim.Window.resets > t then
+  else if List.length (Dsim.Window.resets w) > t then
     Error
       (Printf.sprintf "window resets %d processors; at most t = %d allowed"
-         (List.length w.Dsim.Window.resets)
+         (List.length (Dsim.Window.resets w))
          t)
   else
-    match first_out_of_range w.Dsim.Window.resets with
+    match first_out_of_range (Dsim.Window.resets w) with
     | Some p ->
         Error
           (Printf.sprintf "reset set contains out-of-range pid %d (n = %d)" p n)
@@ -304,15 +304,15 @@ let ref_validate ~n ~t (w : Dsim.Window.t) =
     let rec check i =
       if i >= n then Ok ()
       else
-        match check_set i w.Dsim.Window.receive_sets.(i) with
+        match check_set i (Dsim.Window.to_lists w).(i) with
         | Error _ as e -> e
         | Ok () -> check (i + 1)
     in
     check 0
 
 let ref_is_fault_free (w : Dsim.Window.t) ~n =
-  List.length w.Dsim.Window.resets = 0
-  && Array.for_all (fun s -> List.length s = n) w.Dsim.Window.receive_sets
+  List.length (Dsim.Window.resets w) = 0
+  && Array.for_all (fun s -> List.length s = n) (Dsim.Window.to_lists w)
 
 let validation_agrees a b =
   match (a, b) with
@@ -417,7 +417,7 @@ let reference_apply_window config ?(drop_undelivered = true) window =
       (Dsim.Mailbox.filter_ids mailbox is_fresh);
   List.iter
     (fun p -> Dsim.Engine.apply config (Dsim.Step.Reset p))
-    window.Dsim.Window.resets
+    (Dsim.Window.resets window)
 
 (* Everything observable except the window counter (the reference path
    cannot close windows through the public API, so [sent_in_window] and
@@ -553,6 +553,97 @@ let prop_lazy_vs_eager_broadcast =
       done;
       !ok)
 
+(* The batched applier: [apply_windows] fuses runs of consecutive
+   uniform windows with physically-equal (or Bitset.equal) masks and no
+   resets into one mailbox sweep with bulk trace accounting.  Against a
+   mixed schedule — repeated shared windows, equal-but-distinct
+   windows, silenced/reset/per-processor windows forcing mid-run
+   fallback — it must match window-at-a-time application step for
+   step. *)
+let prop_batched_vs_unbatched =
+  QCheck.Test.make ~count:50
+    ~name:"apply_windows (fused uniform runs) matches window-at-a-time \
+           application"
+    QCheck.small_int (fun seed ->
+      let n = 7 and t = 2 in
+      let protocol = Protocols.Ben_or.protocol () in
+      let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+      let batched = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+      let plain = Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed () in
+      let rng = Prng.Stream.root ((seed * 4513) + 7) in
+      let all_but i = List.filter (fun p -> p <> i) (List.init n (fun p -> p)) in
+      let pool =
+        [|
+          Dsim.Window.uniform ~n ();
+          (* equal mask, different object: exercises the Bitset.equal
+             extension of a fused run *)
+          Dsim.Window.uniform ~n ();
+          Dsim.Window.uniform ~n ~silenced:[ 0 ] ();
+          Dsim.Window.uniform ~n ~resets:[ 1 ] ();
+          Dsim.Window.make ~receive_sets:(Array.init n all_but) ~resets:[];
+        |]
+      in
+      let windows =
+        List.init
+          (3 + Prng.Stream.int_below rng 8)
+          (fun _ -> pool.(Prng.Stream.int_below rng (Array.length pool)))
+      in
+      let drop_undelivered = Prng.Stream.bool rng in
+      Dsim.Engine.apply_windows batched ~drop_undelivered windows;
+      List.iter
+        (fun w -> Dsim.Engine.apply_window plain ~drop_undelivered w)
+        windows;
+      configs_agree batched plain
+      && Dsim.Engine.window_index batched = Dsim.Engine.window_index plain
+      && Dsim.Trace.windows_closed (Dsim.Engine.trace batched)
+         = Dsim.Trace.windows_closed (Dsim.Engine.trace plain))
+
+(* The trace-sink contract: for one schedule, the incremental
+   fingerprint is identical across the in-memory, ring and chunk-
+   streamed stores, and the streamed text is byte-for-byte the
+   rendering of the in-memory event list. *)
+let prop_streamed_sink_fingerprint =
+  QCheck.Test.make ~count:30
+    ~name:"ring/streamed trace sinks keep the in-memory events fingerprint"
+    QCheck.small_int (fun seed ->
+      let n = 7 and t = 2 in
+      let protocol = Protocols.Ben_or.protocol () in
+      let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+      let init sink =
+        Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs ~seed
+          ~record_events:true ?sink ()
+      in
+      let mem = init None in
+      let ring = init (Some (Dsim.Trace.Ring 16)) in
+      let buf = Buffer.create 256 in
+      let stream = init (Some (Dsim.Trace.to_buffer ~chunk_bytes:128 buf)) in
+      let rng = Prng.Stream.root ((seed * 9173) + 3) in
+      let pool = List.init (n + 1) (fun i -> i - 1) in
+      let ok = ref true in
+      for _w = 1 to 5 do
+        let receive_sets =
+          Array.init n (fun _ -> List.filter (fun _ -> Prng.Stream.bool rng) pool)
+        in
+        let resets =
+          List.filter (fun _ -> Prng.Stream.bernoulli rng 0.2) [ 0; 1 ]
+        in
+        let window = Dsim.Window.make ~receive_sets ~resets in
+        Dsim.Engine.apply_window mem window;
+        Dsim.Engine.apply_window ring window;
+        Dsim.Engine.apply_window stream window;
+        let fp c = Dsim.Trace.events_fingerprint (Dsim.Engine.trace c) in
+        if not (String.equal (fp mem) (fp ring) && String.equal (fp mem) (fp stream))
+        then ok := false
+      done;
+      Dsim.Trace.flush (Dsim.Engine.trace stream);
+      let rendered =
+        String.concat ""
+          (List.map
+             (fun ev -> Format.asprintf "%a\n" Dsim.Trace.pp_event ev)
+             (Dsim.Trace.events (Dsim.Engine.trace mem)))
+      in
+      !ok && String.equal rendered (Buffer.contents buf))
+
 (* ------------------------------------------------------------------ *)
 (* The recent-deliveries gate: off by default, free of side effects.   *)
 
@@ -595,10 +686,11 @@ let test_delivery_tracking_gate () =
 
 let split_inputs ~n seed = Array.init n (fun i -> (i + seed) mod 2 = 0)
 
-let windowed_pin ~protocol ~n ~t ~seed ~max_windows strategy =
+let windowed_pin ?record_events ?sink ~protocol ~n ~t ~seed ~max_windows strategy
+    =
   let config =
     Dsim.Engine.init ~protocol ~n ~fault_bound:t ~inputs:(split_inputs ~n seed)
-      ~seed ()
+      ~seed ?record_events ?sink ()
   in
   let outcome =
     Dsim.Runner.run_windows config ~strategy ~max_windows ~stop:`First_decision
@@ -638,6 +730,37 @@ let test_pinned_lewko_split_vote () =
     fp1;
   check_pin "lewko seed=2" (1980, 22, "9b928a6b26ce634a2950ac670f22d883") (run 2);
   check_pin "lewko seed=3" (720, 8, "b1e335793b1f6e7ae163e0dc4b955a2b") (run 3)
+
+(* The pinned lewko execution again, but audited through the streamed
+   trace sink: recording every event into a chunk-flushed buffer must
+   not perturb the execution (same step/window counts, same engine
+   fingerprint), and the streamed text must carry the run (non-empty,
+   one line per recorded event). *)
+let test_pinned_streamed_sink () =
+  let buf = Buffer.create 4096 in
+  let ((_, _, _, _) as r) =
+    windowed_pin ~record_events:true
+      ~sink:(Dsim.Trace.to_buffer ~chunk_bytes:512 buf)
+      ~protocol:(Protocols.Lewko_variant.protocol ())
+      ~n:9 ~t:1 ~seed:1 ~max_windows:2000
+      (Adversary.Split_vote.windowed ())
+  in
+  check_pin "lewko seed=1 via streamed sink"
+    (450, 5, "0ff7b8555219fa9e9e1dbcd93ba6ca5b")
+    r;
+  (* The final partial chunk is still in scratch until flushed; the
+     earlier chunks must already have streamed out. *)
+  Alcotest.(check bool) "chunked flush streamed event text" true
+    (Buffer.length buf > 0);
+  Alcotest.(check bool) "streamed lines are pp_event renderings" true
+    (String.length (Buffer.contents buf) > 0
+    && String.split_on_char '\n' (Buffer.contents buf)
+       |> List.for_all (fun line ->
+              String.equal line ""
+              || List.exists
+                   (fun prefix -> String.starts_with ~prefix line)
+                   [ "sent #"; "delivered #"; "dropped #"; "reset p";
+                     "crashed p"; "decided p"; "window " ]))
 
 let test_pinned_benor_reset_storm () =
   let run seed =
@@ -724,8 +847,12 @@ let suite =
       prop_bitset_reference;
       prop_apply_window_differential;
       prop_lazy_vs_eager_broadcast;
+      prop_batched_vs_unbatched;
+      prop_streamed_sink_fingerprint;
     ]
   @ [
+      Alcotest.test_case "pinned: lewko via streamed trace sink" `Quick
+        test_pinned_streamed_sink;
       Alcotest.test_case "iter_for allows taking the visited envelope" `Quick
         test_iter_for_take_during_iteration;
       Alcotest.test_case "recent-deliveries gate" `Quick

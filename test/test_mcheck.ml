@@ -287,6 +287,20 @@ let test_sound_models_clean () =
       Alcotest.(check bool) (name ^ " within budget") false r.Explore.bounded)
     [ ("bracha", 1, 3); ("ben-or", 1, 3); ("rbc", 1, 3); ("lewko", 0, 5) ]
 
+(* The checker's windows now go straight from int masks to the bitset
+   ground truth ([Menu.window_of_masks] / [Window.of_masks]) with no
+   intermediate pid lists.  Pinning the depth-4 bracha sweep to the
+   counts in docs/MODELCHECK.md proves the enumeration — menu order,
+   window identity, symmetry orbits — came through the representation
+   change untouched. *)
+let test_enumeration_pinned_d4 () =
+  let m, opts = opts_of "bracha" ~n:3 ~t:1 (fun o -> { o with Explore.depth = 4 }) in
+  let r = Model.run m opts in
+  Alcotest.(check int) "states" 17_845 r.Explore.total_states;
+  Alcotest.(check int) "candidates" 40_224 r.Explore.total_candidates;
+  Alcotest.(check int) "symmetry-collapsed" 27_045 r.Explore.total_symmetry_hits;
+  Alcotest.(check int) "clean" 0 r.Explore.violations_total
+
 (* --- determinism across jobs --- *)
 
 let test_jobs_bit_identical () =
@@ -419,6 +433,8 @@ let suite =
       test_bracha_mutant_replay;
     Alcotest.test_case "sound models explore clean" `Quick
       test_sound_models_clean;
+    Alcotest.test_case "enumeration pinned at bracha n3t1 d4" `Slow
+      test_enumeration_pinned_d4;
     Alcotest.test_case "results bit-identical across jobs" `Quick
       test_jobs_bit_identical;
     Alcotest.test_case "shared reseed makes configurations comparable" `Quick

@@ -52,7 +52,7 @@ let test_validate_wrong_arity () =
 let test_normalization () =
   let w = Dsim.Window.make ~receive_sets:[| [ 2; 0; 2; 1 ] |] ~resets:[ 0; 0 ] in
   Alcotest.(check (list int)) "sorted dedup" [ 0; 1; 2 ] (Dsim.Window.receive_set w 0);
-  Alcotest.(check (list int)) "resets dedup" [ 0 ] w.Dsim.Window.resets
+  Alcotest.(check (list int)) "resets dedup" [ 0 ] (Dsim.Window.resets w)
 
 let test_hybrid () =
   let w =
@@ -63,16 +63,16 @@ let test_hybrid () =
     (Dsim.Window.receive_set w 0);
   Alcotest.(check (list int)) "high coords use s1" [ 2; 3; 4; 5 ]
     (Dsim.Window.receive_set w 4);
-  Alcotest.(check (list int)) "mixed resets" [ 0; 5 ] w.Dsim.Window.resets
+  Alcotest.(check (list int)) "mixed resets" [ 0; 5 ] (Dsim.Window.resets w)
 
 let test_hybrid_endpoints () =
   let s0 = [ 0; 1; 2 ] and s1 = [ 1; 2; 3 ] in
   let w0 = Dsim.Window.hybrid ~n:4 ~j:0 ~s0 ~s1 ~r0:[ 0 ] ~r1:[ 3 ] in
   Alcotest.(check (list int)) "j=0 all s1" s1 (Dsim.Window.receive_set w0 0);
-  Alcotest.(check (list int)) "j=0 resets from r1" [ 3 ] w0.Dsim.Window.resets;
+  Alcotest.(check (list int)) "j=0 resets from r1" [ 3 ] (Dsim.Window.resets w0);
   let wn = Dsim.Window.hybrid ~n:4 ~j:4 ~s0 ~s1 ~r0:[ 0 ] ~r1:[ 3 ] in
   Alcotest.(check (list int)) "j=n all s0" s0 (Dsim.Window.receive_set wn 3);
-  Alcotest.(check (list int)) "j=n resets from r0" [ 0 ] wn.Dsim.Window.resets
+  Alcotest.(check (list int)) "j=n resets from r0" [ 0 ] (Dsim.Window.resets wn)
 
 let test_printers () =
   let w = Dsim.Window.uniform ~n:3 ~silenced:[ 0 ] ~resets:[ 1 ] () in
@@ -92,6 +92,95 @@ let test_printers () =
       (Dsim.Step.Corrupt (3, "evil"), "corrupt(#3, evil)");
     ]
 
+(* Masks are the ground truth and lists a projected view; round-trip
+   through [of_masks] must reproduce the view exactly, and a window
+   rebuilt from the projected lists must agree on every observable. *)
+let prop_of_masks_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"of_masks round-trips through to_lists"
+    QCheck.small_int (fun seed ->
+      let rng = Prng.Stream.root (seed + 4177) in
+      let n = 1 + Prng.Stream.int_below rng 12 in
+      let sets =
+        Array.init n (fun _ ->
+            List.filter (fun _ -> Prng.Stream.bool rng)
+              (List.init n (fun i -> i)))
+      in
+      let resets =
+        List.filter (fun _ -> Prng.Stream.bernoulli rng 0.2)
+          (List.init n (fun i -> i))
+      in
+      (* [of_masks] takes ownership of the array, so hand it copies. *)
+      let masks =
+        Array.map (fun s -> Dsim.Bitset.of_list ~capacity:n s) sets
+      in
+      let w = Dsim.Window.of_masks ~resets (Array.map Dsim.Bitset.copy masks) in
+      let pool = List.init (n + 4) (fun i -> i - 2) in
+      let slots = List.init n (fun i -> i) in
+      let view_ok =
+        List.for_all
+          (fun i ->
+            Dsim.Window.receive_set w i = Dsim.Bitset.to_list masks.(i)
+            && Dsim.Window.receive_set_size w i = List.length sets.(i)
+            && List.for_all
+                 (fun src ->
+                   Dsim.Window.allows w ~dst:i ~src = List.mem src sets.(i))
+                 pool)
+          slots
+      in
+      let rebuilt =
+        Dsim.Window.make ~receive_sets:(Dsim.Window.to_lists w) ~resets
+      in
+      view_ok
+      && Dsim.Window.resets w = Dsim.Window.resets rebuilt
+      && List.for_all
+           (fun i ->
+             Dsim.Window.receive_set w i = Dsim.Window.receive_set rebuilt i)
+           slots
+      && Dsim.Window.is_fault_free w ~n = Dsim.Window.is_fault_free rebuilt ~n)
+
+(* Pids straddling the 0x10000 mask clamp: below it they live in the
+   shared mask, at or above it in the extra tail — sizes, membership,
+   projection and validation must not notice the seam. *)
+let test_clamp_edge () =
+  let clamp = 0x10000 in
+  let n = clamp + 4 in
+  let w = Dsim.Window.uniform ~n ~silenced:[ clamp - 1; clamp + 1 ] () in
+  Alcotest.(check int) "size spans the clamp" (n - 2)
+    (Dsim.Window.receive_set_size w 0);
+  List.iter
+    (fun (src, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "allows src=%d" src)
+        expect
+        (Dsim.Window.allows w ~dst:0 ~src))
+    [
+      (clamp - 2, true);
+      (clamp - 1, false);
+      (clamp, true);
+      (clamp + 1, false);
+      (clamp + 3, true);
+      (n, false);
+    ];
+  Alcotest.(check int) "projection spans the clamp" (n - 2)
+    (List.length (Dsim.Window.receive_set w 0));
+  (match Dsim.Window.validate ~n ~t:2 w with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* A pid past the clamp that is also past n must still be rejected —
+     the offender sits in the extra tail, out of the popcount's sight.
+     Small arity keeps [make] cheap. *)
+  let bad =
+    Dsim.Window.make
+      ~receive_sets:(Array.make 4 [ 0; 1; 2; clamp + 9 ])
+      ~resets:[]
+  in
+  match Dsim.Window.validate ~n:4 ~t:0 bad with
+  | Ok () -> Alcotest.fail "should reject pid past the clamp"
+  | Error m ->
+      Alcotest.(check string) "names the offending pid"
+        (Printf.sprintf "S_0 contains out-of-range pid %d (n = 4)" (clamp + 9))
+        m
+
 let suite =
   [
     Alcotest.test_case "printers" `Quick test_printers;
@@ -104,4 +193,6 @@ let suite =
     Alcotest.test_case "normalization" `Quick test_normalization;
     Alcotest.test_case "hybrid" `Quick test_hybrid;
     Alcotest.test_case "hybrid endpoints" `Quick test_hybrid_endpoints;
+    Alcotest.test_case "clamp edge" `Quick test_clamp_edge;
+    QCheck_alcotest.to_alcotest prop_of_masks_roundtrip;
   ]
